@@ -1,0 +1,56 @@
+"""Fig 2 (a, d, g, j): average performance vs number of logical cores."""
+
+import pytest
+
+from repro.core.figures import fig2_cores
+from repro.core.report import format_series
+from repro.core.sweeps import STUDY_MATRIX
+
+PANELS = {
+    "a": [("tpch", 10), ("tpch", 30), ("tpch", 100), ("tpch", 300)],
+    "d": [("asdb", 2000), ("asdb", 6000)],
+    "g": [("tpce", 5000), ("tpce", 15000)],
+    "j": [("htap", 5000), ("htap", 15000)],
+}
+
+#: §4: perf16/perf32 for TPC-H (hyper-threading crossover).
+PAPER_HT_RATIOS = {10: 1.72, 30: 1.27, 100: 0.93, 300: 0.82}
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig2_core_sensitivity(panel, benchmark, duration_scale, emit):
+    def run():
+        return {
+            (w, sf): fig2_cores(w, sf, duration_scale=duration_scale)
+            for w, sf in PANELS[panel]
+        }
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (w, sf), s in series.items():
+        columns = {"perf": s.performance}
+        if w == "htap":
+            # The paper plots the DSS and OLTP components separately.
+            columns["oltp_tps"] = s.performance
+            columns["dss_qph"] = [
+                m.secondary_metric or 0.0 for m in s.measurements
+            ]
+            del columns["perf"]
+        emit(
+            f"Fig 2{panel} — {w} SF={sf}: performance vs logical cores",
+            format_series("cores", s.xs, columns),
+        )
+        # Performance scales with physical cores (1 -> 16).
+        physical = s.performance[: s.xs.index(16.0) + 1]
+        assert all(b > a for a, b in zip(physical, physical[1:])), (w, sf)
+        if w == "tpch":
+            ratio = s.performance[-2] / s.performance[-1]
+            paper = PAPER_HT_RATIOS[sf]
+            emit(f"Fig 2a HT check — tpch SF={sf}",
+                 f"perf16/perf32 measured={ratio:.2f} paper={paper}")
+            assert ratio == pytest.approx(paper, rel=0.2)
+        else:
+            # HT is beneficial for OLTP and HTAP workloads (§4).
+            assert s.performance[-1] > s.performance[-2], (w, sf)
+        if w == "htap":
+            # "all components benefit from increased core allocations" (§4)
+            qph = columns["dss_qph"]
+            assert qph[-1] >= qph[1], (sf, qph)

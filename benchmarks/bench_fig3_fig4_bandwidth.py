@@ -1,0 +1,82 @@
+"""Fig 3: average SSD/DRAM bandwidths; Fig 4: bandwidth CDFs."""
+
+import pytest
+
+from repro.core.figures import fig3_bandwidths, fig4_cdfs
+from repro.core.report import format_series, format_table
+from repro.hardware.counters import DRAM_READ_BYTES, SSD_READ_BYTES, SSD_WRITE_BYTES
+
+
+def test_fig3_bandwidth_vs_cores(benchmark, duration_scale, emit):
+    def run():
+        return {
+            w: fig3_bandwidths(w, sf, axis="cores", duration_scale=duration_scale)
+            for w, sf in (("tpch", 300), ("asdb", 2000))
+        }
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for workload, series in points.items():
+        emit(
+            f"Fig 3 — {workload}: bandwidths vs cores",
+            format_series(
+                "cores",
+                [p.x for p in series],
+                {
+                    "perf": [p.performance for p in series],
+                    "ssd_rd_MB/s": [p.ssd_read_mb for p in series],
+                    "ssd_wr_MB/s": [p.ssd_write_mb for p in series],
+                    "dram_rd_MB/s": [p.dram_read_mb for p in series],
+                },
+            ),
+        )
+        # SSD and DRAM bandwidth use grow with performance (§6).
+        assert series[-1].dram_read_mb > series[0].dram_read_mb
+
+
+def test_fig3_dram_bandwidth_vs_cache(benchmark, duration_scale, emit):
+    series = benchmark.pedantic(
+        lambda: fig3_bandwidths("tpch", 100, axis="llc",
+                                duration_scale=duration_scale),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Fig 3 — tpch SF=100: DRAM bandwidth vs LLC size",
+        format_series(
+            "llc_mb", [p.x for p in series],
+            {"dram_rd_MB/s": [p.dram_read_mb for p in series],
+             "perf": [p.performance for p in series]},
+        ),
+    )
+    # When performance increases due to larger cache, DRAM bandwidth
+    # *drops* (fewer misses) — the second trend of Fig 3.
+    assert series[-1].dram_read_mb < series[0].dram_read_mb
+
+
+def test_fig4_bandwidth_cdfs(benchmark, duration_scale, emit):
+    matrix = (("tpch", 300), ("tpch", 10), ("htap", 15000),
+              ("asdb", 2000), ("tpce", 5000))
+    def run():
+        return fig4_cdfs(matrix=matrix, duration_scale=duration_scale,
+                         num_points=9)
+    cdfs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for key, series in cdfs.items():
+        ssd_read_p99 = series[SSD_READ_BYTES][-1][0]
+        ssd_write_p99 = series[SSD_WRITE_BYTES][-1][0]
+        dram_read_p99 = series[DRAM_READ_BYTES][-1][0]
+        rows.append((key[0], key[1], ssd_read_p99, ssd_write_p99, dram_read_p99))
+    emit(
+        "Fig 4 — max of bandwidth CDFs (MB/s) with full allocations",
+        format_table(["workload", "SF", "ssd_rd", "ssd_wr", "dram_rd"], rows),
+    )
+    by_key = {(w, sf): (rd, wr, dram) for w, sf, rd, wr, dram in rows}
+    # TPC-H SF=300 shows the largest SSD and DRAM read bandwidths (§6).
+    assert by_key[("tpch", 300)][0] >= by_key[("asdb", 2000)][0]
+    assert by_key[("tpch", 300)][0] >= by_key[("tpch", 10)][0]
+    # Transactional IO has a much larger *write share* than analytical IO
+    # (§6: "a significant portion of their SSD bandwidth use is for
+    # writes whereas it is mostly reads for analytical components").
+    def write_share(key):
+        rd, wr, _ = by_key[key]
+        total = rd + wr
+        return wr / total if total > 0 else 0.0
+    assert write_share(("asdb", 2000)) > write_share(("tpch", 300))

@@ -1,0 +1,42 @@
+"""Fig 6: per-query TPC-H speedup with limited MAXDOP and cores,
+relative to the MAXDOP=32 baseline."""
+
+import pytest
+
+from repro.core.figures import fig6_maxdop
+from repro.core.report import format_table
+
+MAXDOPS = (1, 2, 4, 8, 16, 32)
+
+#: §7: queries completely insensitive to parallelism at SF=10.
+INSENSITIVE_AT_SF10 = ("Q2", "Q6", "Q14", "Q15", "Q20")
+
+
+@pytest.mark.parametrize("scale_factor", (10, 30, 100, 300))
+def test_fig6_maxdop_speedups(scale_factor, benchmark, duration_scale, emit):
+    def run():
+        return fig6_maxdop(scale_factor, maxdops=MAXDOPS,
+                           duration_scale=duration_scale)
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{v:.2f}" for v in series]
+        for name, series in sorted(speedups.items(),
+                                   key=lambda kv: int(kv[0][1:]))
+    ]
+    emit(
+        f"Fig 6 — TPC-H SF={scale_factor} per-query speedup vs MAXDOP=32 "
+        f"(columns: MAXDOP {MAXDOPS})",
+        format_table(["query"] + [f"dop{d}" for d in MAXDOPS], rows),
+    )
+    if scale_factor == 10:
+        for name in INSENSITIVE_AT_SF10:
+            if name in speedups:
+                for value in speedups[name]:
+                    assert value == pytest.approx(1.0, rel=0.35), (name, value)
+    if scale_factor >= 100:
+        # Almost all queries improve clearly between serial and parallel.
+        improved = sum(1 for s in speedups.values() if s[0] < 0.7)
+        assert improved >= len(speedups) * 0.7
+    if scale_factor == 300 and "Q20" in speedups:
+        # §7: Q20 shows up to ~10x between MAXDOP=1 and MAXDOP=32.
+        assert speedups["Q20"][0] < 0.25

@@ -1,0 +1,18 @@
+"""Fig 7: Q20's serial vs parallel query plans at SF=300."""
+
+from repro.core.figures import fig7_q20_plans
+
+
+def test_fig7_q20_plan_adaptation(benchmark, emit):
+    result = benchmark(fig7_q20_plans)
+    emit("Fig 7a — Q20 serial plan (MAXDOP=1), TPC-H SF=300",
+         result.serial_plan_text)
+    emit("Fig 7b — Q20 parallel plan (MAXDOP=32), TPC-H SF=300",
+         result.parallel_plan_text)
+    emit("Fig 7 — structural differences", result.diff_summary)
+    # The paper's two observations:
+    # 1. the MAXDOP=32 plan uses parallel implementations throughout;
+    # 2. join algorithms differ — hash join for part in the serial plan,
+    #    parallel nested loops in the MAXDOP=32 plan.
+    assert result.serial_uses_hash_for_part
+    assert result.parallel_uses_nlj_for_part

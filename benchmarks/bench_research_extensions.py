@@ -1,0 +1,101 @@
+"""Extension benches for the paper's §10 research questions.
+
+Not paper artifacts, but the follow-on analyses the paper proposes:
+SLA-driven partitioning, predictive provisioning models, and admission
+policy comparison, all on the same simulated testbed.
+"""
+
+from repro.core import ResourceAllocation, run_experiment
+from repro.core.admission import compare_admission_policies
+from repro.core.models import compare_models
+from repro.core.partitioning import TenantProfile, partition_resources
+from repro.core.report import format_table
+from repro.units import mb_per_s
+
+
+def test_q1_partitioning_meets_slos(benchmark, duration_scale, emit):
+    def run():
+        def profile(name, workload, sf, duration, slo_fraction):
+            cores_curve = {
+                c: run_experiment(
+                    workload, sf,
+                    allocation=ResourceAllocation(logical_cores=c),
+                    duration=duration,
+                ).primary_metric
+                for c in (4, 8, 16)
+            }
+            llc_curve = {
+                mb: run_experiment(
+                    workload, sf, allocation=ResourceAllocation(llc_mb=mb),
+                    duration=duration,
+                ).primary_metric
+                for mb in (4, 8, 16)
+            }
+            slo = slo_fraction * max(cores_curve.values())
+            return TenantProfile.from_curves(name, cores_curve, llc_curve, slo)
+        tenants = [
+            profile("oltp", "asdb", 2000, 6.0 * duration_scale + 3.0, 0.8),
+            profile("dss", "tpch", 30, 200.0 * duration_scale + 50.0, 0.6),
+        ]
+        return tenants, partition_resources(tenants)
+    tenants, plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert plan is not None
+    emit(
+        "§10 Q1 — SLA partitioning of 32 cores / 40 MB LLC",
+        format_table(
+            ["tenant", "cores", "llc MB"],
+            [(n, a[0], a[1]) for n, a in plan.assignments.items()],
+        ),
+    )
+    for tenant in tenants:
+        assert tenant.meets_slo(*plan.assignments[tenant.name])
+    # Consolidation leaves headroom on at least one resource dimension.
+    assert plan.spare_cores + plan.spare_llc_mb > 0
+
+
+def test_q2_roofline_beats_linear(benchmark, duration_scale, emit):
+    def run():
+        limits = [200, 400, 800, 1600, 2500]
+        qps = [
+            run_experiment(
+                "tpch", 300,
+                allocation=ResourceAllocation(read_bw_limit=mb_per_s(l)),
+                duration=4000.0 * duration_scale,
+            ).primary_metric
+            for l in limits
+        ]
+        return compare_models(limits, qps, target_fraction=0.9)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "§10 Q2 — provisioning model comparison (TPC-H SF=300 read BW)",
+        format_table(
+            ["model", "rmse", "MB/s for target"],
+            [("linear", result.linear_rmse, result.linear_required),
+             ("roofline", result.roofline_rmse, result.roofline_required)],
+        ),
+    )
+    assert result.roofline_wins
+    assert result.overallocation_fraction > 0
+
+
+def test_q3_admission_policy(benchmark, duration_scale, emit):
+    def run():
+        return {
+            sf: compare_admission_policies(sf, streams=3,
+                                           duration_scale=duration_scale)
+            for sf in (10, 100)
+        }
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "§10 Q3 — immediate vs serialized stream admission (TPC-H)",
+        format_table(
+            ["SF", "immediate QPS", "serialized QPS", "winner"],
+            [
+                (sf, r.immediate_qps, r.serialized_qps,
+                 "immediate" if r.immediate_wins else "serialized")
+                for sf, r in results.items()
+            ],
+        ),
+    )
+    # In-memory, CPU-bound analytics benefits from concurrency.
+    assert results[10].immediate_wins

@@ -1,0 +1,52 @@
+"""The condensed study: the workload x resource sensitivity matrix.
+
+Not a single paper artifact but the paper's thesis — "the wide spectrum
+of resource sensitivities" (§1/abstract) — made quantitative across the
+full Table 2 study matrix.
+"""
+
+from repro.core.report import format_table
+from repro.core.sensitivity import RESOURCES, sensitivity_matrix, spectrum_width
+
+
+def test_sensitivity_matrix(benchmark, duration_scale, emit):
+    rows = benchmark.pedantic(
+        sensitivity_matrix, kwargs={"duration_scale": duration_scale},
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Sensitivity matrix — fraction of performance lost under stress "
+        "(cores 32->2, LLC 40->6 MB, read 200 MB/s, write 50 MB/s, grant 5%)",
+        format_table(
+            ["workload", "SF"] + list(RESOURCES) + ["most sensitive"],
+            [
+                [row.workload, row.scale_factor]
+                + [f"{row.indices[r]:.2f}" for r in RESOURCES]
+                + [row.most_sensitive()]
+                for row in rows
+            ],
+        ),
+    )
+    by_key = {(r.workload, r.scale_factor): r for r in rows}
+
+    # Everyone cares about cores (§4: "performance scales well with the
+    # number of cores" for every class).
+    for row in rows:
+        assert row.indices["cores"] > 0.3, (row.workload, row.scale_factor)
+
+    # Write bandwidth matters to transactional workloads, not to TPC-H's
+    # read-mostly streams (§6).
+    assert by_key[("asdb", 2000)].indices["write_bw"] > 0.15
+    assert by_key[("tpch", 10)].indices["write_bw"] < 0.10
+
+    # Read bandwidth dominates for out-of-memory analytics (§6, Fig 5).
+    assert by_key[("tpch", 300)].indices["read_bw"] > \
+        by_key[("tpch", 10)].indices["read_bw"]
+
+    # The spectrum is wide: for most resources, some workload cares a lot
+    # and some barely at all (the paper's core claim).
+    spread = spectrum_width(rows)
+    emit("Sensitivity spread per resource (max - min across workloads)",
+         format_table(["resource", "spread"], sorted(spread.items())))
+    wide = [resource for resource, value in spread.items() if value > 0.3]
+    assert len(wide) >= 3, spread

@@ -1,0 +1,20 @@
+"""Table 2: database scale factors and initial sizes."""
+
+from repro.core.figures import table2
+from repro.core.report import format_table
+
+
+def test_table2_sizes(benchmark, emit):
+    rows = benchmark(table2)
+    body = format_table(
+        ["workload", "SF", "data GB", "paper", "index GB", "paper", "fits in 64 GB"],
+        [
+            (r.workload, r.scale_factor, r.data_gb, r.paper_data_gb,
+             r.index_gb, r.paper_index_gb, r.fits_in_memory)
+            for r in rows
+        ],
+    )
+    emit("Table 2 — database sizes (measured vs paper)", body)
+    for r in rows:
+        assert abs(r.data_gb - r.paper_data_gb) / r.paper_data_gb < 0.02
+        assert abs(r.index_gb - r.paper_index_gb) / r.paper_index_gb < 0.02

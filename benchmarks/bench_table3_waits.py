@@ -1,0 +1,28 @@
+"""Table 3: lock and latch wait times, TPC-E SF=15000 vs SF=5000."""
+
+from repro.core.figures import table3
+from repro.core.report import format_table
+
+
+def test_table3_wait_ratios(benchmark, duration_scale, emit):
+    result = benchmark.pedantic(
+        table3, kwargs={"duration_scale": duration_scale},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ("LOCK", result.ratios.get("LOCK"), result.paper_ratios["LOCK"]),
+        ("LATCH", result.ratios.get("LATCH"), "increases"),
+        ("PAGELATCH", result.ratios.get("PAGELATCH"), result.paper_ratios["PAGELATCH"]),
+        ("SIGMA (L/L/PL)", result.sigma_ratio, result.paper_ratios["SIGMA"]),
+        ("PAGEIOLATCH", result.ratios.get("PAGEIOLATCH"),
+         result.paper_ratios["PAGEIOLATCH"]),
+    ]
+    emit(
+        "Table 3 — TPC-E wait-time ratios, SF=15000 relative to SF=5000",
+        format_table(["wait type", "measured ratio", "paper"], rows),
+    )
+    # Shape assertions: contention dilutes, IO waits explode.
+    assert result.ratios["LOCK"] < 0.7
+    assert result.ratios["PAGELATCH"] < 1.0
+    assert result.sigma_ratio < 1.0
+    assert result.ratios["PAGEIOLATCH"] > 10.0

@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports (paper value next to measured
+value where available), and is timed by pytest-benchmark.  Durations are
+scaled down so the whole suite completes in minutes; pass a larger
+``--repro-duration-scale`` for higher-fidelity runs.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-duration-scale",
+        action="store",
+        type=float,
+        default=0.3,
+        help="Scale factor for simulated measurement durations (1.0 = the "
+        "defaults in repro.core.sweeps; smaller = faster, noisier).",
+    )
+
+
+@pytest.fixture(scope="session")
+def duration_scale(request):
+    return request.config.getoption("--repro-duration-scale")
+
+
+@pytest.fixture
+def emit(capfd):
+    """Print an artifact block, bypassing pytest's output capture so the
+    regenerated tables/series always appear in the benchmark log (the
+    harness's job is to *print* the paper's rows)."""
+    def _emit(title, body):
+        with capfd.disabled():
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+    return _emit

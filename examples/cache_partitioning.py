@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CAT cache partitioning between co-located workloads (§10's research
+question: "even a well-designed server running diverse database
+workloads will experience cache under-utilization — can caches be
+dynamically reconfigured to use the excess capacity?").
+
+Uses the sufficient-LLC analysis (Table 4's statistic) to find how much
+cache each tenant actually needs, then checks that giving a transactional
+tenant its sufficient allocation and handing the rest to an analytical
+tenant keeps both within a few percent of their full-cache performance.
+"""
+
+from repro.core import ResourceAllocation, run_experiment
+from repro.core.analysis import sufficient_allocation
+from repro.core.report import format_series, format_table
+
+SIZES = [2, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40]
+
+
+def llc_curve(workload: str, sf: int, duration: float):
+    perf = []
+    for size in SIZES:
+        m = run_experiment(
+            workload, sf,
+            allocation=ResourceAllocation(llc_mb=size),
+            duration=duration,
+        )
+        perf.append(m.primary_metric)
+    return perf
+
+
+def main() -> None:
+    print("Profiling tenant A: ASDB SF=2000 (transactional)...")
+    asdb = llc_curve("asdb", 2000, duration=8.0)
+    print("Profiling tenant B: TPC-H SF=100 (analytical)...")
+    tpch = llc_curve("tpch", 100, duration=900.0)
+
+    print(format_series("llc_mb", SIZES, {
+        "asdb_rel": [v / asdb[-1] for v in asdb],
+        "tpch_rel": [v / tpch[-1] for v in tpch],
+    }, title="\nRelative performance vs CAT allocation"))
+
+    need_asdb = sufficient_allocation(SIZES, asdb, 0.95)
+    need_tpch = sufficient_allocation(SIZES, tpch, 0.95)
+    total = 40
+    leftover = total - need_asdb - need_tpch
+    rows = [
+        ("ASDB (OLTP tenant)", f"{need_asdb} MB"),
+        ("TPC-H (DSS tenant)", f"{need_tpch} MB"),
+        ("Unclaimed LLC", f"{leftover} MB"),
+    ]
+    print(format_table(["tenant", "sufficient LLC (>=95%)"], rows,
+                       title="\nCAT partitioning plan (40 MB total)"))
+    if leftover > 0:
+        print(
+            f"\n{leftover} MB of LLC remains after both tenants reach 95% of "
+            "their standalone performance — capacity CAT could lend to a "
+            "third tenant or reconfigure for other uses, confirming the "
+            "paper's over-provisioning finding."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""HTAP consolidation study (§2.3 + §4).
+
+Compares three deployments of a brokerage workload at SF=5000:
+
+1. OLTP alone (plain TPC-E) — the dedicated operational store;
+2. HTAP — the same transactional load plus one analytics user running
+   real-time queries on the same database, using the §2.3.1 design
+   (updateable non-clustered columnstore indexes);
+3. the same HTAP mix at SF=15000 to show how the balance between the two
+   components shifts with database size.
+
+Output: transactional TPS, analytics QPH, and the interference cost of
+running analytics in-place (what you pay for killing the ETL pipeline).
+"""
+
+from repro.core import run_experiment
+from repro.core.report import format_table
+
+
+def main() -> None:
+    duration = 25.0
+    print("Running OLTP-only baseline (TPC-E SF=5000)...")
+    oltp_only = run_experiment("tpce", 5000, duration=duration)
+
+    print("Running HTAP (99 OLTP users + 1 analytics user)...")
+    htap_small = run_experiment("htap", 5000, duration=duration)
+    print("Running HTAP at SF=15000...")
+    htap_large = run_experiment("htap", 15000, duration=duration)
+
+    interference = 1 - htap_small.primary_metric / oltp_only.primary_metric
+    rows = [
+        ("TPC-E alone, SF=5000", f"{oltp_only.primary_metric:.0f}", "-", "-"),
+        (
+            "HTAP, SF=5000",
+            f"{htap_small.primary_metric:.0f}",
+            f"{htap_small.secondary_metric:.0f}",
+            f"{interference:.0%}",
+        ),
+        (
+            "HTAP, SF=15000",
+            f"{htap_large.primary_metric:.0f}",
+            f"{htap_large.secondary_metric:.0f}",
+            "-",
+        ),
+    ]
+    print(format_table(
+        ["deployment", "TPS", "analytics QPH", "OLTP interference"],
+        rows, title="\nHTAP consolidation summary",
+    ))
+
+    print(
+        "\nReading the results the paper's way (§4): running analytics on\n"
+        "the operational store costs some transactional throughput, but\n"
+        "eliminates the ETL pipeline entirely — analytics sees live data.\n"
+        "At the larger scale factor the analytical component becomes\n"
+        "IO-bound (QPH drops) while the transactional component actually\n"
+        "improves thanks to reduced hot-row contention."
+    )
+
+
+if __name__ == "__main__":
+    main()

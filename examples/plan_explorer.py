@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plan explorer: showplan-style output for the TPC-H templates.
+
+Prints the optimizer's chosen plan for any query at any scale factor and
+MAXDOP, plus the §7-style diagnosis: estimated cost, DOP decision, memory
+grant, and how the plan changes across MAXDOP settings.
+
+Usage::
+
+    python examples/plan_explorer.py            # Q20 tour (the Fig 7 query)
+    python examples/plan_explorer.py 9 100      # query 9 at SF=100
+"""
+
+import sys
+
+from repro.core import ResourceAllocation
+from repro.core.report import format_table
+from repro.engine.engine import SqlEngine
+from repro.engine.plan.render import plan_diff_summary, render_plan
+from repro.engine.resource_governor import ResourceGovernor
+from repro.hardware.machine import Machine
+from repro.units import GIB
+from repro.workloads import make_workload
+from repro.workloads.tpch import tpch_query
+from repro.workloads.tpch_sql import sql_text
+
+
+def explore(number: int, scale_factor: int) -> None:
+    workload = make_workload("tpch", scale_factor)
+    machine = Machine()
+    ResourceAllocation().apply_to(machine)
+    engine = SqlEngine(
+        machine, workload.database, workload.execution_characteristics(),
+        governor=ResourceGovernor(max_dop=32), **workload.engine_parameters(),
+    )
+    spec = tpch_query(number, scale_factor)
+
+    print(f"==== TPC-H Q{number} at SF={scale_factor} " + "=" * 40)
+    print("\n--- SQL " + "-" * 60)
+    print(sql_text(number))
+
+    rows = []
+    plans = {}
+    for maxdop in (1, 4, 32):
+        optimized = engine.optimizer.optimize(spec, max_dop=maxdop)
+        grant = engine.admit(optimized)
+        plans[maxdop] = optimized
+        rows.append((
+            maxdop,
+            optimized.dop,
+            f"{optimized.estimated_elapsed_cost / 1e6:.2f}M",
+            f"{optimized.required_memory_bytes / GIB:.2f} GiB",
+            "yes" if grant.spills else "no",
+            optimized.plan.join_count(),
+        ))
+    print("\n--- Optimizer decisions " + "-" * 44)
+    print(format_table(
+        ["MAXDOP", "chosen DOP", "est. cost", "memory", "spills", "joins"],
+        rows,
+    ))
+
+    print("\n--- Plan at MAXDOP=1 " + "-" * 47)
+    print(render_plan(plans[1].plan, show_costs=True))
+    print("\n--- Plan at MAXDOP=32 " + "-" * 46)
+    print(render_plan(plans[32].plan, show_costs=True))
+    print("\n--- Differences " + "-" * 52)
+    print(plan_diff_summary(plans[1].plan, plans[32].plan))
+
+
+def main() -> None:
+    if len(sys.argv) >= 3:
+        explore(int(sys.argv[1]), int(sys.argv[2]))
+    elif len(sys.argv) == 2:
+        explore(int(sys.argv[1]), 100)
+    else:
+        # The paper's own example: Q20 across the scale factors (§7/Fig 7).
+        for sf in (10, 300):
+            explore(20, sf)
+            print()
+
+
+if __name__ == "__main__":
+    main()

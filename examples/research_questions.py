@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The paper's §10 research questions, explored on the simulated testbed.
+
+1. How should resources be partitioned among streams/tenants to meet
+   SLAs? — profile two tenants, search the discrete (cores, CAT) space.
+2. What predictive models estimate resource impacts? — fit linear and
+   roofline models to the bandwidth response and compare.
+3. Immediate vs delayed query admission? — run both policies.
+"""
+
+from repro.core import ResourceAllocation, run_experiment
+from repro.core.admission import compare_admission_policies
+from repro.core.models import compare_models
+from repro.core.partitioning import TenantProfile, partition_resources
+from repro.core.report import format_table
+from repro.units import mb_per_s
+
+CORES = (4, 8, 16)
+LLC_MB = (4, 8, 16)
+
+
+def profile_tenant(name: str, workload: str, sf: int, duration: float,
+                   slo_fraction: float) -> TenantProfile:
+    print(f"Profiling {name} ({workload} SF={sf})...")
+    core_curve = {
+        c: run_experiment(workload, sf,
+                          allocation=ResourceAllocation(logical_cores=c),
+                          duration=duration).primary_metric
+        for c in CORES
+    }
+    llc_curve = {
+        mb: run_experiment(workload, sf,
+                           allocation=ResourceAllocation(llc_mb=mb),
+                           duration=duration).primary_metric
+        for mb in LLC_MB
+    }
+    slo = slo_fraction * max(core_curve.values())
+    return TenantProfile.from_curves(name, core_curve, llc_curve, slo=slo)
+
+
+def main() -> None:
+    print("== Q1: SLA-driven partitioning " + "=" * 40)
+    tenants = [
+        profile_tenant("oltp-tenant", "asdb", 2000, 6.0, slo_fraction=0.8),
+        profile_tenant("dss-tenant", "tpch", 30, 150.0, slo_fraction=0.6),
+    ]
+    plan = partition_resources(tenants, total_cores=32, total_llc_mb=40)
+    if plan is None:
+        print("No feasible partition for these SLOs.")
+    else:
+        print(format_table(
+            ["tenant", "cores", "LLC MB"],
+            [(name, alloc[0], alloc[1])
+             for name, alloc in plan.assignments.items()],
+            title="Chosen partition",
+        ))
+        print(f"Spare: {plan.spare_cores} cores, {plan.spare_llc_mb} MB LLC")
+
+    print("\n== Q2: predictive models for bandwidth allocation " + "=" * 20)
+    limits = [200, 400, 800, 1600, 2500]
+    qps = [
+        run_experiment("tpch", 300,
+                       allocation=ResourceAllocation(read_bw_limit=mb_per_s(l)),
+                       duration=1500.0).primary_metric
+        for l in limits
+    ]
+    result = compare_models(limits, qps, target_fraction=0.9)
+    print(format_table(
+        ["model", "RMSE", "MB/s needed for target"],
+        [("linear", result.linear_rmse, result.linear_required),
+         ("roofline", result.roofline_rmse, result.roofline_required)],
+        title=f"Provisioning for QPS >= {result.target:.3f}",
+    ))
+    print(f"Linear model overallocates by {result.overallocation_fraction:.0%} "
+          "(the paper's Fig 5 point, generalized).")
+
+    print("\n== Q3: immediate vs delayed admission " + "=" * 32)
+    for sf in (10, 100):
+        cmp = compare_admission_policies(sf, streams=3, duration_scale=0.5)
+        winner = "immediate" if cmp.immediate_wins else "serialized"
+        print(f"TPC-H SF={sf}: immediate {cmp.immediate_qps:.3f} QPS vs "
+              f"serialized {cmp.serialized_qps:.3f} QPS -> {winner} "
+              f"(+{cmp.advantage:.0%})")
+
+
+if __name__ == "__main__":
+    main()

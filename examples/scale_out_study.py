@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Architect's study: is the scale-out design right for databases?
+
+§6 observes that LLCs are under-utilized while cores and storage
+bandwidth pay off, and §11 cites the scale-out processor proposal [31]:
+spend the die area of the big cache on more cores.  This example runs
+the full workload study on three machine designs and reports who wins
+where — the cross-hardware evaluation the paper's §1 says architects
+need.
+"""
+
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.core.report import format_table
+from repro.hardware.presets import PAPER_TESTBED, SCALE_OUT, SCALE_UP
+from repro.units import MIB
+
+DESIGNS = [
+    ("paper testbed (16c/40MB)", PAPER_TESTBED),
+    ("scale-out   (32c/16MB)", SCALE_OUT),
+    ("scale-up    (32c/80MB+)", SCALE_UP),
+]
+
+WORKLOADS = [
+    ("asdb", 2000, 6.0),
+    ("tpce", 5000, 10.0),
+    ("tpch", 30, 150.0),
+    ("tpch", 300, 1500.0),
+]
+
+
+def main() -> None:
+    rows = []
+    for workload, sf, duration in WORKLOADS:
+        row = [f"{workload} SF={sf}"]
+        baseline = None
+        for _, spec in DESIGNS:
+            machine = spec.build()
+            config = ExperimentConfig(
+                workload=workload, scale_factor=sf,
+                allocation=ResourceAllocation(
+                    logical_cores=machine.topology.total_logical_cpus,
+                    llc_mb=(spec.llc_per_socket_bytes // MIB) * spec.sockets,
+                ),
+                duration=duration, machine_spec=spec,
+            )
+            perf = Experiment(config).run().primary_metric
+            baseline = baseline or perf
+            row.append(f"{perf / baseline:.2f}x")
+        rows.append(row)
+
+    print(format_table(
+        ["workload"] + [name for name, _ in DESIGNS],
+        rows,
+        title="Performance relative to the paper's testbed",
+    ))
+    print(
+        "\nReading: transactional workloads, whose hot sets are tiny and "
+        "whose misses stream past any cache (§5), convert the scale-out "
+        "design's extra cores directly into TPS. Analytical workloads keep "
+        "more of the benefit of a big LLC, but even they gain more from "
+        "cores than from cache beyond the knee — the §6 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""repro: a simulation reproduction of "Characterizing Resource
+Sensitivity of Database Workloads" (HPCA 2018).
+
+Quick start::
+
+    from repro.core import ResourceAllocation, run_experiment
+    m = run_experiment("asdb", 2000, duration=15.0)
+    print(m.primary_metric, m.mpki, m.ssd_write_mb)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,221 @@
+"""Command-line interface: run experiments and regenerate paper artifacts.
+
+Usage::
+
+    python -m repro run tpch 100 --cores 16 --llc-mb 12 --duration 300
+    python -m repro sweep cores tpch 10
+    python -m repro sweep llc asdb 2000
+    python -m repro figure table2
+    python -m repro figure fig7
+    python -m repro list
+
+The CLI is a thin veneer over :mod:`repro.core`; anything it prints can
+be produced programmatically from the same functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.experiment import run_experiment
+from repro.core.knobs import CORE_SWEEP, LLC_SWEEP_MB, ResourceAllocation
+from repro.core.report import format_series, format_table
+from repro.core.sweeps import STUDY_MATRIX, core_sweep, duration_for, llc_sweep, run_sweep
+from repro.units import mb_per_s
+from repro.workloads import WORKLOADS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-sensitivity experiments on the simulated testbed",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("scale_factor", type=int)
+    run.add_argument("--cores", type=int, default=32)
+    run.add_argument("--llc-mb", type=int, default=40)
+    run.add_argument("--maxdop", type=int, default=None)
+    run.add_argument("--read-limit-mb", type=float, default=None)
+    run.add_argument("--write-limit-mb", type=float, default=None)
+    run.add_argument("--grant-percent", type=float, default=25.0)
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds (default: per-workload)")
+    run.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="run a one-axis sweep")
+    sweep.add_argument("axis", choices=("cores", "llc"))
+    sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    sweep.add_argument("scale_factor", type=int)
+    sweep.add_argument("--duration-scale", type=float, default=0.5)
+
+    figure = sub.add_parser("figure", help="regenerate a paper artifact")
+    figure.add_argument(
+        "name",
+        choices=("table2", "table3", "fig5", "fig7"),
+    )
+    figure.add_argument("--duration-scale", type=float, default=0.3)
+
+    report = sub.add_parser(
+        "report", help="run a reduced study and print a calibration report"
+    )
+    report.add_argument("--duration-scale", type=float, default=0.3)
+
+    sub.add_parser("list", help="list workloads and scale factors")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    allocation = ResourceAllocation(
+        logical_cores=args.cores,
+        llc_mb=args.llc_mb,
+        max_dop=args.maxdop,
+        read_bw_limit=mb_per_s(args.read_limit_mb) if args.read_limit_mb else None,
+        write_bw_limit=mb_per_s(args.write_limit_mb) if args.write_limit_mb else None,
+        grant_percent=args.grant_percent,
+    )
+    duration = args.duration or duration_for(args.workload, args.scale_factor)
+    m = run_experiment(args.workload, args.scale_factor, allocation=allocation,
+                       duration=duration, seed=args.seed)
+    rows = [
+        ("primary metric", m.primary_metric),
+        ("MPKI", m.mpki),
+        ("SSD read MB/s", m.ssd_read_mb),
+        ("SSD write MB/s", m.ssd_write_mb),
+        ("DRAM read MB/s", m.dram_read_mb),
+        ("SMT multiplier", m.smt_multiplier),
+    ]
+    if m.secondary_metric is not None:
+        rows.insert(1, ("analytics QPH", m.secondary_metric))
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.workload} SF={args.scale_factor} "
+        f"({duration:.0f}s simulated)",
+    ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.axis == "cores":
+        configs = core_sweep(args.workload, args.scale_factor,
+                             duration_scale=args.duration_scale)
+        xs = list(CORE_SWEEP)
+        x_label = "cores"
+    else:
+        configs = llc_sweep(args.workload, args.scale_factor,
+                            duration_scale=args.duration_scale)
+        xs = list(LLC_SWEEP_MB)
+        x_label = "llc_mb"
+    measurements = run_sweep(configs)
+    print(format_series(
+        x_label, xs,
+        {
+            "perf": [m.primary_metric for m in measurements],
+            "mpki": [m.mpki_model for m in measurements],
+            "ssd_rd_MB/s": [m.ssd_read_mb for m in measurements],
+        },
+        title=f"{args.workload} SF={args.scale_factor}: {args.axis} sweep",
+    ))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.core import figures
+    if args.name == "table2":
+        rows = figures.table2()
+        print(format_table(
+            ["workload", "SF", "data GB", "paper", "index GB", "paper", "fits"],
+            [(r.workload, r.scale_factor, r.data_gb, r.paper_data_gb,
+              r.index_gb, r.paper_index_gb, r.fits_in_memory) for r in rows],
+            title="Table 2",
+        ))
+    elif args.name == "table3":
+        result = figures.table3(duration_scale=args.duration_scale)
+        print(format_table(
+            ["wait type", "ratio 15000/5000"],
+            sorted(result.ratios.items()),
+            title="Table 3 (paper: LOCK 0.15, PAGELATCH 0.56, PAGEIOLATCH 74.61)",
+        ))
+    elif args.name == "fig5":
+        result = figures.fig5_read_limits(duration_scale=args.duration_scale)
+        print(format_series("limit_MB/s", result.limits_mb, {"qps": result.qps},
+                            title="Fig 5"))
+        print(f"linear-model savings: {result.comparison.savings_fraction:.0%}")
+    elif args.name == "fig7":
+        result = figures.fig7_q20_plans()
+        print("Fig 7a — serial plan:\n" + result.serial_plan_text)
+        print("\nFig 7b — MAXDOP=32 plan:\n" + result.parallel_plan_text)
+        print("\n" + result.diff_summary)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """A one-command paper-vs-measured summary (the headline numbers)."""
+    scale = args.duration_scale
+    rows = []
+
+    def ratio(workload, sf, duration):
+        hi = run_experiment(workload, sf,
+                            allocation=ResourceAllocation(logical_cores=16),
+                            duration=duration)
+        full = run_experiment(workload, sf, duration=duration)
+        return hi.primary_metric / full.primary_metric, full
+
+    for sf, paper in ((10, 1.72), (30, 1.27), (100, 0.93), (300, 0.82)):
+        measured, _ = ratio("tpch", sf, duration_for("tpch", sf, scale))
+        rows.append((f"TPC-H SF={sf} perf16/perf32", f"{measured:.2f}", paper))
+
+    asdb16 = run_experiment("asdb", 2000,
+                            allocation=ResourceAllocation(logical_cores=16),
+                            duration=duration_for("asdb", 2000, scale))
+    asdb32 = run_experiment("asdb", 2000,
+                            duration=duration_for("asdb", 2000, scale))
+    rows.append(("ASDB HT gain",
+                 f"{(asdb32.primary_metric / asdb16.primary_metric - 1):.1%}",
+                 "5-6.8%"))
+
+    tpce = {sf: run_experiment("tpce", sf,
+                               duration=duration_for("tpce", sf, scale))
+            for sf in (5000, 15000)}
+    rows.append(("TPC-E TPS(15000) > TPS(5000)",
+                 tpce[15000].primary_metric > tpce[5000].primary_metric, True))
+    from repro.engine.locks import WaitType
+    lock_ratio = (tpce[15000].wait_times[WaitType.LOCK]
+                  / max(1e-9, tpce[5000].wait_times[WaitType.LOCK]))
+    rows.append(("Table 3 LOCK ratio", f"{lock_ratio:.2f}", 0.15))
+    print(format_table(["check", "measured", "paper"], rows,
+                       title="Calibration report (reduced durations)"))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print(format_table(
+        ["workload", "scale factors", "default duration (s)"],
+        [
+            (w, ", ".join(str(sf) for ww, sf in STUDY_MATRIX if ww == w),
+             duration_for(w, next(sf for ww, sf in STUDY_MATRIX if ww == w)))
+            for w in sorted(WORKLOADS)
+        ],
+        title="Available workloads (paper study matrix)",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Query admission policies (§10's third research question).
+
+    "In a concurrent stream, is it better to immediately start executing
+     queries even with limited resources, or delay them till others
+     finish and free up resources?"
+
+Two policies are compared on the simulated testbed:
+
+* **immediate** — run all arriving streams concurrently; each query gets
+  a share of the machine (the §3 default: 3 concurrent TPC-H streams);
+* **serialized** — admit one stream at a time with the full machine
+  (higher per-query DOP and grant, no sharing).
+
+Both are driven through the normal experiment harness, so plan
+adaptation, grants, and the buffer-pool coupling all participate —
+exactly the interactions the paper argues make the question non-trivial
+(runtime DOP and memory are expensive to change once a query starts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentConfig, Experiment
+from repro.core.knobs import ResourceAllocation
+from repro.core.sweeps import duration_for
+
+
+@dataclass(frozen=True)
+class AdmissionComparison:
+    """Throughput of the two policies on the same workload."""
+
+    workload: str
+    scale_factor: int
+    streams: int
+    immediate_qps: float
+    serialized_qps: float
+
+    @property
+    def immediate_wins(self) -> bool:
+        return self.immediate_qps >= self.serialized_qps
+
+    @property
+    def advantage(self) -> float:
+        """Relative QPS advantage of the better policy."""
+        lo = min(self.immediate_qps, self.serialized_qps)
+        hi = max(self.immediate_qps, self.serialized_qps)
+        if lo <= 0:
+            return float("inf")
+        return hi / lo - 1.0
+
+
+def compare_admission_policies(
+    scale_factor: int,
+    streams: int = 3,
+    duration_scale: float = 1.0,
+    seed: int = 0,
+) -> AdmissionComparison:
+    """Run both policies for TPC-H at one scale factor.
+
+    The serialized policy runs a single stream for the same total
+    simulated time; since a lone stream holds the whole machine, its QPS
+    is directly comparable (queries completed per second of wall time).
+    """
+    duration = duration_for("tpch", scale_factor, duration_scale)
+    immediate = Experiment(
+        ExperimentConfig(
+            workload="tpch", scale_factor=scale_factor, duration=duration,
+            seed=seed, workload_kwargs={"streams": streams},
+        )
+    ).run()
+    serialized = Experiment(
+        ExperimentConfig(
+            workload="tpch", scale_factor=scale_factor, duration=duration,
+            seed=seed, workload_kwargs={"streams": 1},
+        )
+    ).run()
+    return AdmissionComparison(
+        workload="tpch",
+        scale_factor=scale_factor,
+        streams=streams,
+        immediate_qps=immediate.primary_metric,
+        serialized_qps=serialized.primary_metric,
+    )

@@ -1,0 +1,130 @@
+"""The experiment runner: one (workload, allocation) -> one Measurement.
+
+Follows the paper's §3 methodology: build the machine, apply the resource
+allocation (cpuset + CAT + blkio), start the engine, run the workload's
+closed-loop clients for the measurement interval while PCM/iostat-style
+counters sample every second, then gather throughput, wait breakdowns,
+and plan signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.calibration import DEFAULT_MEASUREMENT_SECONDS
+from repro.core.knobs import ResourceAllocation
+from repro.core.measurement import Measurement
+from repro.engine.engine import SqlEngine
+from repro.engine.locks import WaitType
+from repro.engine.resource_governor import ResourceGovernor
+from repro.hardware.counters import CounterSampler
+from repro.hardware.machine import Machine, MachineSpec
+from repro.workloads import make_workload
+from repro.workloads.base import ThroughputTracker, Workload
+from repro.workloads.htap import HtapWorkload
+from repro.workloads.tpch import TPCH_QUERIES, tpch_query
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A fully-specified experiment."""
+
+    workload: str
+    scale_factor: int
+    allocation: ResourceAllocation = ResourceAllocation()
+    duration: float = DEFAULT_MEASUREMENT_SECONDS
+    seed: int = 0
+    machine_spec: MachineSpec = MachineSpec()
+    workload_kwargs: Dict = field(default_factory=dict)
+
+
+class Experiment:
+    """Runs one configuration end to end."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+
+    def _build_machine(self) -> Machine:
+        machine = Machine(spec=self.config.machine_spec, seed=self.config.seed)
+        self.config.allocation.apply_to(machine)
+        return machine
+
+    def _build_engine(self, machine: Machine, workload: Workload) -> SqlEngine:
+        governor = ResourceGovernor(
+            max_dop=self.config.allocation.effective_max_dop,
+            grant_percent=self.config.allocation.grant_percent,
+        )
+        return SqlEngine(
+            machine=machine,
+            database=workload.database,
+            execution=workload.execution_characteristics(),
+            governor=governor,
+            **workload.engine_parameters(),
+        )
+
+    def run(self) -> Measurement:
+        config = self.config
+        workload = make_workload(
+            config.workload, config.scale_factor, **config.workload_kwargs
+        )
+        machine = self._build_machine()
+        engine = self._build_engine(machine, workload)
+        tracker = ThroughputTracker()
+        sampler = CounterSampler(machine.sim, engine)
+        workload.spawn_clients(engine, tracker, until=config.duration)
+        machine.sim.run(until=config.duration)
+        sampler.stop()
+
+        plan_signatures = self._collect_plan_signatures(engine, workload)
+        secondary = None
+        if isinstance(workload, HtapWorkload):
+            secondary = workload.analytics_qph(tracker, config.duration)
+        return Measurement(
+            workload=config.workload,
+            scale_factor=config.scale_factor,
+            allocation=config.allocation,
+            duration=config.duration,
+            primary_metric=workload.primary_metric(tracker, config.duration),
+            counters=sampler.series,
+            tracker=tracker,
+            wait_times=dict(engine.locks.accounting.wait_time),
+            plan_signatures=plan_signatures,
+            secondary_metric=secondary,
+            smt_multiplier=engine.sqlos.smt_multiplier,
+            mpki_model=engine.sqlos.mpki,
+        )
+
+    def _collect_plan_signatures(
+        self, engine: SqlEngine, workload: Workload
+    ) -> Dict[str, str]:
+        """Record the plan shape chosen for each query under this
+        allocation — §9 pitfall #6 says analyses must watch for plan
+        changes across resource settings."""
+        signatures: Dict[str, str] = {}
+        if self.config.workload == "tpch":
+            for number in TPCH_QUERIES:
+                spec = tpch_query(number, self.config.scale_factor)
+                optimized = engine.optimize(spec)
+                signatures[spec.name] = optimized.plan.signature()
+        return signatures
+
+
+def run_experiment(
+    workload: str,
+    scale_factor: int,
+    allocation: Optional[ResourceAllocation] = None,
+    duration: float = DEFAULT_MEASUREMENT_SECONDS,
+    seed: int = 0,
+    **workload_kwargs,
+) -> Measurement:
+    """Convenience wrapper: run one experiment and return its measurement."""
+    config = ExperimentConfig(
+        workload=workload,
+        scale_factor=scale_factor,
+        allocation=allocation or ResourceAllocation(),
+        duration=duration,
+        seed=seed,
+        workload_kwargs=dict(workload_kwargs),
+    )
+    return Experiment(config).run()

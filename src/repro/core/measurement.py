@@ -1,0 +1,93 @@
+"""Measurement: everything one experiment run produces.
+
+Mirrors the paper's observables: the primary throughput metric (TPS or
+QPS), MPKI, per-second bandwidth series with means and CDFs (Figs 3, 4),
+wait-time breakdowns (Table 3), per-query latencies (Figs 6, 8), and the
+plan signatures actually used (pitfall #6: detect optimizer adaptation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.knobs import ResourceAllocation
+from repro.engine.locks import WaitType
+from repro.hardware.counters import (
+    CounterSeries,
+    DRAM_READ_BYTES,
+    DRAM_WRITE_BYTES,
+    SSD_READ_BYTES,
+    SSD_WRITE_BYTES,
+)
+from repro.sim.stats import Cdf
+from repro.units import to_mb_per_s
+from repro.workloads.base import ThroughputTracker
+
+
+@dataclass
+class Measurement:
+    """The result of one (workload, allocation) experiment run."""
+
+    workload: str
+    scale_factor: int
+    allocation: ResourceAllocation
+    duration: float
+    primary_metric: float               # TPS (OLTP/HTAP) or QPS (DSS)
+    counters: CounterSeries
+    tracker: ThroughputTracker
+    wait_times: Dict[WaitType, float] = field(default_factory=dict)
+    plan_signatures: Dict[str, str] = field(default_factory=dict)
+    secondary_metric: Optional[float] = None  # e.g. HTAP analytics QPH
+    smt_multiplier: float = 1.0
+    mpki_model: float = 0.0
+
+    # -- derived observables -------------------------------------------------
+
+    @property
+    def mpki(self) -> float:
+        """Measured misses-per-kilo-instruction over the run."""
+        return self.counters.mean_mpki()
+
+    def mean_bandwidth_mb(self, counter: str) -> float:
+        return to_mb_per_s(self.counters.mean(counter))
+
+    @property
+    def ssd_read_mb(self) -> float:
+        return self.mean_bandwidth_mb(SSD_READ_BYTES)
+
+    @property
+    def ssd_write_mb(self) -> float:
+        return self.mean_bandwidth_mb(SSD_WRITE_BYTES)
+
+    @property
+    def dram_read_mb(self) -> float:
+        return self.mean_bandwidth_mb(DRAM_READ_BYTES)
+
+    @property
+    def dram_write_mb(self) -> float:
+        return self.mean_bandwidth_mb(DRAM_WRITE_BYTES)
+
+    def bandwidth_cdf(self, counter: str) -> Cdf:
+        """Per-second bandwidth distribution (Fig 4 series)."""
+        return self.counters.cdf(counter)
+
+    def query_latency(self, name: str, percentile: float = 50.0) -> float:
+        """Latency percentile of one completion class (e.g. "Q20")."""
+        return self.tracker.percentile_latency(name, percentile)
+
+    def mean_query_latency(self, name: str) -> float:
+        cdf = self.tracker.latencies.get(name)
+        if cdf is None or len(cdf) == 0:
+            return float("nan")
+        return cdf.mean()
+
+    def wait_time(self, wait_type: WaitType) -> float:
+        return self.wait_times.get(wait_type, 0.0)
+
+    def lock_latch_pagelatch_total(self) -> float:
+        return (
+            self.wait_time(WaitType.LOCK)
+            + self.wait_time(WaitType.LATCH)
+            + self.wait_time(WaitType.PAGELATCH)
+        )

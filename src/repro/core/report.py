@@ -1,0 +1,74 @@
+"""Fixed-width text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width table with a rule under the header."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more y-series against a shared x axis."""
+    headers = [x_label] + list(series.keys())
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A coarse text sparkline for quick shape inspection in logs."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    indices = [int((v - lo) / span * (len(blocks) - 1)) for v in values]
+    return "".join(blocks[i] for i in indices)

@@ -1,0 +1,19 @@
+"""SQL-Server-on-Linux stand-in: catalog, buffer pool, WAL, locks,
+optimizer, memory grants, and the executor that maps query plans onto the
+simulated hardware."""
+
+from repro.engine.catalog import Database, Index, Table
+from repro.engine.engine import SqlEngine
+from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.types import IndexKind, StorageFormat, WorkloadClass
+
+__all__ = [
+    "Database",
+    "Index",
+    "Table",
+    "SqlEngine",
+    "ResourceGovernor",
+    "IndexKind",
+    "StorageFormat",
+    "WorkloadClass",
+]

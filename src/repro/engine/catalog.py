@@ -1,0 +1,155 @@
+"""Database catalog: tables, indexes, cardinalities, and byte sizes.
+
+The catalog carries exactly what the optimizer and buffer pool need:
+row counts, row widths, storage formats, and index footprints.  Sizing is
+calibrated so that the built-in benchmark databases reproduce the paper's
+Table 2 (data and index GB at each scale factor).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.types import (
+    COLUMNSTORE_COMPRESSION,
+    IndexKind,
+    StorageFormat,
+    WorkloadClass,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Index:
+    """An index over a table.
+
+    ``bytes_per_row`` covers key + row locator (B-tree) or the compressed
+    column segments (columnstore).
+    """
+
+    name: str
+    kind: IndexKind
+    bytes_per_row: float
+
+    def size_bytes(self, rows: int) -> float:
+        return rows * self.bytes_per_row
+
+
+@dataclass
+class Table:
+    """A base table with optional secondary indexes."""
+
+    name: str
+    rows: int
+    row_bytes: float
+    storage: StorageFormat = StorageFormat.ROW
+    indexes: List[Index] = field(default_factory=list)
+    #: Fraction of the table that is "hot" for point accesses (drives
+    #: buffer-pool locality and lock contention for OLTP tables).
+    hot_fraction: float = 0.1
+    #: Columnstore compression achieved for this table.  Small scale
+    #: factors compress worse (dictionary and segment overheads), so the
+    #: schema builders override the default where needed.
+    compression_ratio: Optional[float] = None
+
+    def __post_init__(self):
+        if self.rows < 0 or self.row_bytes <= 0:
+            raise ConfigurationError(f"table {self.name}: bad shape")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ConfigurationError(f"table {self.name}: hot_fraction in (0,1]")
+        if self.compression_ratio is not None and self.compression_ratio < 1.0:
+            raise ConfigurationError(f"table {self.name}: compression must be >= 1")
+
+    @property
+    def data_bytes(self) -> float:
+        """On-disk bytes of the base data (after columnstore compression)."""
+        raw = self.rows * self.row_bytes
+        if self.storage is StorageFormat.COLUMN:
+            return raw / (self.compression_ratio or COLUMNSTORE_COMPRESSION)
+        return raw
+
+    @property
+    def uncompressed_bytes(self) -> float:
+        return self.rows * self.row_bytes
+
+    @property
+    def index_bytes(self) -> float:
+        return sum(index.size_bytes(self.rows) for index in self.indexes)
+
+    def index(self, name: str) -> Index:
+        for index in self.indexes:
+            if index.name == name:
+                return index
+        raise ConfigurationError(f"table {self.name}: no index {name!r}")
+
+    def has_index_kind(self, kind: IndexKind) -> bool:
+        return any(index.kind is kind for index in self.indexes)
+
+
+@dataclass
+class Database:
+    """A named database at a specific scale factor."""
+
+    name: str
+    scale_factor: int
+    workload_class: WorkloadClass
+    tables: Dict[str, Table] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self.tables:
+            raise ConfigurationError(f"duplicate table {table.name!r}")
+        self.tables[table.name] = table
+        self._check_design(table)
+
+    def _check_design(self, table: Table) -> None:
+        """Warn on the paper's pitfall #2: wrong storage layout for the
+        workload class (§9)."""
+        if (
+            self.workload_class is WorkloadClass.DSS
+            and table.storage is StorageFormat.ROW
+            and not table.has_index_kind(IndexKind.COLUMNSTORE_CLUSTERED)
+        ):
+            warnings.warn(
+                f"{self.name}.{table.name}: row-store table in a decision "
+                "support database (performance-analysis pitfall #2)",
+                stacklevel=3,
+            )
+        if self.workload_class is WorkloadClass.OLTP and table.storage is StorageFormat.COLUMN:
+            warnings.warn(
+                f"{self.name}.{table.name}: column-store table in a "
+                "transactional database (performance-analysis pitfall #2)",
+                stacklevel=3,
+            )
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise ConfigurationError(f"{self.name}: no table {name!r}")
+        return table
+
+    @property
+    def data_bytes(self) -> float:
+        return sum(t.data_bytes for t in self.tables.values())
+
+    @property
+    def index_bytes(self) -> float:
+        return sum(t.index_bytes for t in self.tables.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return self.data_bytes + self.index_bytes
+
+    def fits_in_memory(self, memory_bytes: float, engine_fraction: float = 0.8) -> bool:
+        """Whether data + indexes fit in the buffer pool's share of memory.
+
+        ``engine_fraction`` mirrors §8: about 80% of server memory goes to
+        the engine.
+        """
+        return self.total_bytes <= memory_bytes * engine_fraction
+
+    def largest_table(self) -> Optional[Table]:
+        if not self.tables:
+            return None
+        return max(self.tables.values(), key=lambda t: t.data_bytes)

@@ -1,0 +1,118 @@
+"""The :class:`SqlEngine` facade: one configured database engine instance.
+
+Construction wires the whole engine stack to a machine: buffer pool, WAL,
+lock manager, query memory pool, optimizer, SQLOS runtime, and executor.
+An engine instance is built per experiment run (like restarting the server
+between the paper's experiments) so that runtime state — CAT allocation,
+cpuset shape, counters — is frozen consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.catalog import Database
+from repro.engine.checkpoint import CheckpointWriter
+from repro.engine.executor import ExecutionResult, Executor, TransactionDemand
+from repro.engine.locks import LockManager
+from repro.engine.memory_grants import MemoryGrant, QueryMemoryPool
+from repro.engine.optimizer.cost_model import CostModel
+from repro.engine.optimizer.optimizer import OptimizedQuery, Optimizer, PlanningContext
+from repro.engine.optimizer.queryspec import QuerySpec
+from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.sqlos import ExecutionCharacteristics, SqlOs
+from repro.engine.wal import WriteAheadLog
+from repro.hardware.machine import Machine
+
+
+class SqlEngine:
+    """A database engine bound to a machine and one database."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        database: Database,
+        execution: ExecutionCharacteristics,
+        governor: ResourceGovernor = ResourceGovernor(),
+        hot_lock_rows: int = 1024,
+        hot_latch_pages: int = 256,
+        reserved_grant_bytes: float = 0.0,
+        concurrent_grant_slots: int = 0,
+        share_cpu_pool: bool = False,
+        cost_model: Optional[CostModel] = None,
+        search_strategy: str = "greedy",
+    ):
+        self.machine = machine
+        self.database = database
+        self.governor = governor
+        self.memory_pool = QueryMemoryPool(
+            server_memory_bytes=machine.dram.capacity_bytes,
+            grant_percent=governor.grant_percent,
+        )
+        # Memory promised to concurrently-running queries is unavailable
+        # to the buffer pool — this couples §8's grant knob to IO volume.
+        reserved = reserved_grant_bytes + (
+            concurrent_grant_slots * self.memory_pool.per_query_cap_bytes
+        )
+        self.buffer_pool = BufferPool(
+            database=database,
+            server_memory_bytes=machine.dram.capacity_bytes,
+            reserved_grant_bytes=reserved,
+        )
+        self.wal = WriteAheadLog(machine.sim, machine.ssd)
+        self.checkpoint = CheckpointWriter(machine.sim, machine.ssd)
+        self.locks = LockManager(
+            machine.sim, hot_rows=hot_lock_rows, hot_pages=hot_latch_pages
+        )
+        self.sqlos = SqlOs(machine, execution, shared_cpu_pool=share_cpu_pool)
+        self.executor = Executor(
+            sim=machine.sim,
+            machine=machine,
+            sqlos=self.sqlos,
+            buffer_pool=self.buffer_pool,
+            lock_manager=self.locks,
+            wal=self.wal,
+            checkpoint=self.checkpoint,
+        )
+        self._planning = PlanningContext(
+            database=database,
+            buffer_pool=self.buffer_pool,
+            cost_model=cost_model or CostModel(),
+            max_dop=governor.max_dop,
+            search_strategy=search_strategy,
+        )
+        self.optimizer = Optimizer(self._planning)
+
+    # -- planning and admission ----------------------------------------------------
+
+    def optimize(self, spec: QuerySpec, dop_hint: int = 0) -> OptimizedQuery:
+        """Optimize under the governor's DOP cap and the current cpuset."""
+        dop = self.governor.effective_dop(len(self.machine.cpuset), hint=dop_hint)
+        return self.optimizer.optimize(spec, max_dop=dop)
+
+    def admit(self, optimized: OptimizedQuery) -> MemoryGrant:
+        return self.memory_pool.admit(optimized.required_memory_bytes)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run_query(self, spec: QuerySpec, dop_hint: int = 0) -> Generator:
+        """Generator: optimize, admit, and execute one query.
+
+        Returns an :class:`~repro.engine.executor.ExecutionResult`.
+        """
+        optimized = self.optimize(spec, dop_hint=dop_hint)
+        grant = self.admit(optimized)
+        demand = self.executor.demand_for_query(optimized, grant)
+        result = yield from self.executor.execute_query(demand)
+        return result
+
+    def run_transaction(self, demand: TransactionDemand) -> Generator:
+        """Generator: execute one OLTP transaction.  Returns its result."""
+        result = yield from self.executor.execute_transaction(demand)
+        return result
+
+    # -- counters -------------------------------------------------------------------
+
+    def counter_totals(self):
+        return self.sqlos.counter_totals()

@@ -1,0 +1,267 @@
+"""The executor: plans and transactions onto the simulated hardware.
+
+Two execution paths:
+
+* **Queries** (DSS / the analytical side of HTAP): an
+  :class:`~repro.engine.optimizer.optimizer.OptimizedQuery` is converted
+  into a :class:`QueryDemand` — instructions, cold sequential reads,
+  random reads, spill IO — and executed with CPU and IO overlapped.
+* **Transactions** (OLTP): a :class:`TransactionDemand` describes the
+  instruction budget, lock/latch critical sections, buffer-pool page
+  misses (PAGEIOLATCH), and commit log bytes; the executor threads it
+  through the lock manager, core pool, SSD, and WAL in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Tuple
+
+from repro.calibration import INSTRUCTIONS_PER_COST_UNIT
+from repro.engine.bufferpool import BufferPool
+from repro.engine.locks import LockManager, WaitType
+from repro.engine.memory_grants import MemoryGrant
+from repro.engine.optimizer.optimizer import OptimizedQuery
+from repro.engine.plan.operators import OpKind
+from repro.engine.sqlos import SqlOs
+from repro.errors import SimulationError
+from repro.hardware.machine import Machine
+from repro.sim.process import Simulator, Timeout
+from repro.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class QueryDemand:
+    """Resource demand vector for one query execution."""
+
+    name: str
+    instructions: float
+    dop: int
+    seq_read_bytes: float
+    random_read_bytes: float
+    spill_read_bytes: float
+    spill_write_bytes: float
+    grant: MemoryGrant
+
+    @property
+    def total_read_bytes(self) -> float:
+        return self.seq_read_bytes + self.random_read_bytes + self.spill_read_bytes
+
+    @property
+    def total_write_bytes(self) -> float:
+        return self.spill_write_bytes
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """One critical section a transaction passes through."""
+
+    wait_type: WaitType
+    slot: int
+    hold_seconds: float
+
+
+@dataclass(frozen=True)
+class TransactionDemand:
+    """Resource demand vector for one OLTP transaction.
+
+    ``latches`` are short critical sections released during execution
+    (LATCH / PAGELATCH); ``locks`` are row locks acquired before the
+    update and held until the commit record is durable — which is why
+    hot-row contention couples to log latency, and why spreading rows
+    over a larger scale factor reduces LOCK waits (Table 3).
+    """
+
+    name: str
+    instructions: float
+    page_reads: float           # expected cold page reads (count)
+    log_bytes: float
+    latches: Tuple[ContentionPoint, ...] = ()
+    locks: Tuple[ContentionPoint, ...] = ()
+    dirty_page_writes: float = 0.0  # checkpoint writes attributed per txn
+
+
+@dataclass
+class ExecutionResult:
+    """Timing record of a completed query or transaction."""
+
+    name: str
+    start: float
+    end: float
+    io_wait: float = 0.0
+    lock_wait: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+#: Wall-clock startup/coordination cost of a parallel query: thread
+#: spawn, grant setup, and exchange wiring grow superlinearly with the
+#: worker count (barrier synchronization).  Short queries at high DOP pay
+#: this disproportionately — one §4/§7 mechanism behind small scale
+#: factors disliking MAXDOP=32.
+PARALLEL_STARTUP_COEFF = 0.0025
+PARALLEL_STARTUP_EXPONENT = 1.7
+
+
+def parallel_startup_seconds(dop: int) -> float:
+    """Coordination delay before a parallel query starts producing."""
+    if dop <= 1:
+        return 0.0
+    return PARALLEL_STARTUP_COEFF * (dop - 1) ** PARALLEL_STARTUP_EXPONENT
+
+
+class Executor:
+    """Runs demand vectors against the hardware inside the simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        sqlos: SqlOs,
+        buffer_pool: BufferPool,
+        lock_manager: Optional[LockManager] = None,
+        wal=None,
+        checkpoint=None,
+    ):
+        self._sim = sim
+        self._machine = machine
+        self._sqlos = sqlos
+        self._buffer_pool = buffer_pool
+        self._locks = lock_manager
+        self._wal = wal
+        self._checkpoint = checkpoint
+
+    # -- demand derivation -------------------------------------------------------
+
+    def demand_for_query(self, optimized: OptimizedQuery, grant: MemoryGrant) -> QueryDemand:
+        """Convert an optimized plan + admitted grant into raw demands."""
+        spec = optimized.spec
+        passes = spec.correlated_passes
+        cost_units = optimized.plan.total_cpu_cost() * passes + grant.spill_cpu_cost
+        instructions = cost_units * INSTRUCTIONS_PER_COST_UNIT
+
+        seq_read = 0.0
+        scan_ops = (OpKind.COLUMNSTORE_SCAN, OpKind.TABLE_SCAN)
+        for node in optimized.plan.walk():
+            if node.op in scan_ops and node.table is not None:
+                ref = spec.table_ref(node.table)
+                table = self._buffer_pool.database.table(ref.table)
+                seq_read += self._buffer_pool.scan_read_bytes(table, ref.column_fraction)
+        random_read = optimized.random_reads * PAGE_SIZE * passes
+
+        return QueryDemand(
+            name=spec.name,
+            instructions=instructions,
+            dop=optimized.dop,
+            seq_read_bytes=seq_read * passes,
+            random_read_bytes=random_read,
+            spill_read_bytes=grant.spill_read_bytes,
+            spill_write_bytes=grant.spill_write_bytes,
+            grant=grant,
+        )
+
+    # -- query execution -----------------------------------------------------------
+
+    def execute_query(self, demand: QueryDemand) -> Generator:
+        """Generator: run a query with CPU and IO overlapped.
+
+        Returns an :class:`ExecutionResult`.
+        """
+        start = self._sim.now
+        if demand.dop > 1:
+            yield Timeout(parallel_startup_seconds(demand.dop))
+        # Scan IO pipelines with computation; spill IO does not — sort
+        # runs and hash partitions must be written out before they can be
+        # merged back, so spills add directly to elapsed time (the Fig 8
+        # degradation mechanism).
+        io_proc = self._sim.spawn(self._scan_io(demand), name=f"{demand.name}-io")
+        cpu_proc = self._sim.spawn(self._query_cpu(demand), name=f"{demand.name}-cpu")
+        yield cpu_proc
+        cpu_done = self._sim.now
+        yield io_proc
+        if demand.spill_write_bytes > 0:
+            yield from self._machine.ssd.write(demand.spill_write_bytes)
+        if demand.spill_read_bytes > 0:
+            yield from self._machine.ssd.read(demand.spill_read_bytes)
+        end = self._sim.now
+        return ExecutionResult(
+            name=demand.name, start=start, end=end, io_wait=max(0.0, end - cpu_done)
+        )
+
+    def _query_cpu(self, demand: QueryDemand) -> Generator:
+        yield from self._sqlos.run_on_cpu(demand.instructions, dop=demand.dop)
+        return None
+
+    def _scan_io(self, demand: QueryDemand) -> Generator:
+        reads = demand.seq_read_bytes + demand.random_read_bytes
+        if reads > 0:
+            yield from self._machine.ssd.read(reads)
+        return None
+
+    # -- transaction execution --------------------------------------------------------
+
+    def execute_transaction(self, demand: TransactionDemand) -> Generator:
+        """Generator: run one OLTP transaction end to end.
+
+        Order: acquire/hold critical sections (lock manager accounts
+        queueing), run the instruction budget, perform cold page reads
+        (charged as PAGEIOLATCH waits), then harden the commit record.
+        Returns an :class:`ExecutionResult`.
+        """
+        if self._locks is None:
+            raise SimulationError("transaction execution requires a lock manager")
+        start = self._sim.now
+        lock_wait = 0.0
+
+        # Short latch critical sections during execution.
+        for point in demand.latches:
+            before = self._sim.now
+            yield from self._locks.critical_section(
+                point.wait_type, point.slot, point.hold_seconds
+            )
+            lock_wait += max(0.0, self._sim.now - before - point.hold_seconds)
+
+        yield from self._sqlos.run_transaction_cpu(demand.instructions)
+
+        io_wait = 0.0
+        if demand.page_reads > 0:
+            before = self._sim.now
+            yield from self._machine.ssd.read_pages(demand.page_reads, PAGE_SIZE)
+            io_wait = self._sim.now - before
+            self._locks.charge_io_latch(io_wait)
+
+        # Row locks: acquired for the update, held across the commit.
+        held = []
+        for point in demand.locks:
+            before = self._sim.now
+            yield from self._locks.acquire(point.wait_type, point.slot)
+            lock_wait += self._sim.now - before
+            held.append(point)
+            if point.hold_seconds > 0:
+                yield Timeout(point.hold_seconds)
+
+        if demand.dirty_page_writes > 0:
+            if self._checkpoint is not None:
+                # The background checkpoint writer flushes dirty pages;
+                # mark_dirty only blocks when the backlog exceeds the
+                # recovery-interval limit (write-cap back-pressure, §6).
+                yield from self._checkpoint.mark_dirty(demand.dirty_page_writes)
+            else:
+                self._sim.spawn(
+                    self._background_write(demand.dirty_page_writes * PAGE_SIZE),
+                    name="checkpoint",
+                )
+        if self._wal is not None and demand.log_bytes > 0:
+            yield from self._wal.commit(demand.log_bytes)
+        for point in reversed(held):
+            self._locks.release(point.wait_type, point.slot)
+        end = self._sim.now
+        return ExecutionResult(
+            name=demand.name, start=start, end=end, io_wait=io_wait, lock_wait=lock_wait
+        )
+
+    def _background_write(self, nbytes: float) -> Generator:
+        yield from self._machine.ssd.write(nbytes)
+        return None

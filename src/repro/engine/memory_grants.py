@@ -1,0 +1,103 @@
+"""Query memory grants and the spill model (§8).
+
+SQL Server reserves each query's estimated memory ("query memory grant")
+at start of execution and enforces a per-query maximum so one query cannot
+monopolize the pool.  On our modelled testbed: 64 GB server memory, ~80%
+to the engine, of which a portion forms the query-memory pool; the default
+per-query cap is 25% of the pool — "approx. 9.2 GB on our system".
+
+A query whose requirement exceeds its grant spills: sort runs and hash
+partitions are written to tempdb and read back, adding SSD traffic and CPU
+work.  That is what degrades Q18 and friends in Fig 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import (
+    DEFAULT_GRANT_PERCENT,
+    ENGINE_MEMORY_FRACTION,
+    QUERY_MEMORY_POOL_FRACTION,
+)
+from repro.errors import ConfigurationError
+
+#: Bytes written + read back per byte of memory deficit when spilling
+#: (write the run once, read it back ~1.5 times across merge passes).
+SPILL_IO_AMPLIFICATION = 2.5
+
+#: Extra CPU cost units per spilled row-equivalent (run generation,
+#: merge passes); expressed per byte of deficit over a nominal 100 B row.
+SPILL_CPU_UNITS_PER_BYTE = 0.05 / 100.0
+
+
+@dataclass(frozen=True)
+class MemoryGrant:
+    """Outcome of grant admission for one query."""
+
+    required_bytes: float
+    granted_bytes: float
+
+    @property
+    def deficit_bytes(self) -> float:
+        return max(0.0, self.required_bytes - self.granted_bytes)
+
+    @property
+    def spills(self) -> bool:
+        return self.deficit_bytes > 0
+
+    @property
+    def spill_io_bytes(self) -> float:
+        """Total extra SSD bytes (reads + writes) caused by spilling."""
+        return self.deficit_bytes * SPILL_IO_AMPLIFICATION
+
+    @property
+    def spill_write_bytes(self) -> float:
+        return self.deficit_bytes
+
+    @property
+    def spill_read_bytes(self) -> float:
+        return self.spill_io_bytes - self.spill_write_bytes
+
+    @property
+    def spill_cpu_cost(self) -> float:
+        """Extra optimizer cost units spent on spill management."""
+        return self.deficit_bytes * SPILL_CPU_UNITS_PER_BYTE
+
+
+class QueryMemoryPool:
+    """The engine's query-memory pool and per-query grant policy."""
+
+    def __init__(
+        self,
+        server_memory_bytes: float,
+        grant_percent: float = DEFAULT_GRANT_PERCENT,
+    ):
+        if server_memory_bytes <= 0:
+            raise ConfigurationError("server memory must be positive")
+        if not 0 < grant_percent <= 100:
+            raise ConfigurationError("grant percent must be in (0, 100]")
+        self.server_memory_bytes = server_memory_bytes
+        self.grant_percent = grant_percent
+
+    @property
+    def pool_bytes(self) -> float:
+        return (
+            self.server_memory_bytes
+            * ENGINE_MEMORY_FRACTION
+            * QUERY_MEMORY_POOL_FRACTION
+        )
+
+    @property
+    def per_query_cap_bytes(self) -> float:
+        """The per-query maximum (the §8 knob, default ~9.2 GB)."""
+        return self.pool_bytes * self.grant_percent / 100.0
+
+    def admit(self, required_bytes: float) -> MemoryGrant:
+        """Grant as much as the cap allows; the rest will spill."""
+        if required_bytes < 0:
+            raise ConfigurationError("negative memory requirement")
+        return MemoryGrant(
+            required_bytes=required_bytes,
+            granted_bytes=min(required_bytes, self.per_query_cap_bytes),
+        )

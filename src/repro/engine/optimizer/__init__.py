@@ -1,0 +1,17 @@
+"""Cost-based query optimizer: cardinality estimation, cost model, greedy
+join ordering, and the serial-vs-parallel plan decision."""
+
+from repro.engine.optimizer.cost_model import CostModel
+from repro.engine.optimizer.optimizer import Optimizer, OptimizedQuery, PlanningContext
+from repro.engine.optimizer.queryspec import JoinEdge, JoinKind, QuerySpec, TableRef
+
+__all__ = [
+    "CostModel",
+    "Optimizer",
+    "OptimizedQuery",
+    "PlanningContext",
+    "JoinEdge",
+    "JoinKind",
+    "QuerySpec",
+    "TableRef",
+]

@@ -1,0 +1,6 @@
+"""Query plan trees: operators, properties, and text rendering."""
+
+from repro.engine.plan.operators import JoinAlgorithm, OpKind, PlanNode
+from repro.engine.plan.render import render_plan
+
+__all__ = ["JoinAlgorithm", "OpKind", "PlanNode", "render_plan"]

@@ -1,0 +1,76 @@
+"""Text rendering of plan trees (reproduces the paper's Fig 7 artifacts).
+
+The renderer mimics SQL Server's showplan text: one operator per line,
+indentation for children, ``<=>`` marking parallel operators (the paper's
+"double arrow symbol"), and cardinality/cost annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.plan.operators import PlanNode
+
+
+def _format_rows(rows: float) -> str:
+    if rows >= 1e9:
+        return f"{rows / 1e9:.2f}B rows"
+    if rows >= 1e6:
+        return f"{rows / 1e6:.2f}M rows"
+    if rows >= 1e3:
+        return f"{rows / 1e3:.1f}K rows"
+    return f"{rows:.0f} rows"
+
+
+def render_plan(plan: PlanNode, show_costs: bool = False) -> str:
+    """Render a plan tree as indented showplan-style text.
+
+    >>> from repro.engine.plan.operators import OpKind, PlanNode
+    >>> leaf = PlanNode(op=OpKind.TABLE_SCAN, table="part", rows_out=10)
+    >>> print(render_plan(leaf))
+    --> Table Scan [part] (10 rows)
+    """
+    lines: List[str] = []
+    _render_into(plan, depth=0, lines=lines, show_costs=show_costs)
+    return "\n".join(lines)
+
+
+def _render_into(node: PlanNode, depth: int, lines: List[str], show_costs: bool) -> None:
+    arrow = "<=>" if node.parallel else "-->"
+    indent = "    " * depth
+    label = node.op.value
+    if node.table:
+        label += f" [{node.table}]"
+    annotations = [_format_rows(node.rows_out)]
+    if node.detail:
+        annotations.append(node.detail)
+    if show_costs:
+        annotations.append(f"cost={node.cpu_cost:.3g}")
+        if node.memory_bytes:
+            annotations.append(f"mem={node.memory_bytes / 2**20:.1f}MiB")
+    lines.append(f"{indent}{arrow} {label} ({', '.join(annotations)})")
+    for child in node.children:
+        _render_into(child, depth + 1, lines, show_costs)
+
+
+def plan_diff_summary(a: PlanNode, b: PlanNode) -> str:
+    """Summarize the structural differences between two plans, in the
+    style of the paper's §7 discussion of Q20's serial vs parallel plans:
+    operator parallelism, join count, and join algorithms."""
+    from repro.engine.plan.operators import OpKind
+
+    def join_algos(plan: PlanNode) -> List[str]:
+        names = []
+        for node in plan.walk():
+            if node.op in (OpKind.HASH_JOIN, OpKind.NESTED_LOOPS, OpKind.MERGE_JOIN):
+                names.append(node.op.value)
+        return names
+
+    lines = [
+        f"plan A: {a.join_count()} joins [{', '.join(join_algos(a)) or 'none'}]"
+        f"{' (parallel)' if a.is_parallel_plan() else ' (serial)'}",
+        f"plan B: {b.join_count()} joins [{', '.join(join_algos(b)) or 'none'}]"
+        f"{' (parallel)' if b.is_parallel_plan() else ' (serial)'}",
+        f"same shape: {a.signature() == b.signature()}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Structural validation of physical plans.
+
+The optimizer builds plans greedily; this module checks the invariants
+every well-formed plan must satisfy, independent of how it was built.
+Tests run the validator over every TPC-H template at every scale factor
+and MAXDOP, so optimizer changes that produce malformed trees fail fast
+with a named violation instead of a mysterious downstream number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.engine.plan.operators import OpKind, PlanNode
+
+#: Expected child counts per operator kind (None = any).
+_CHILD_COUNTS = {
+    OpKind.COLUMNSTORE_SCAN: 0,
+    OpKind.TABLE_SCAN: 0,
+    OpKind.INDEX_SEEK: 0,
+    OpKind.HASH_JOIN: 2,
+    OpKind.NESTED_LOOPS: 2,
+    OpKind.MERGE_JOIN: 2,
+    OpKind.HASH_AGGREGATE: 1,
+    OpKind.STREAM_AGGREGATE: 1,
+    OpKind.SORT: 1,
+    OpKind.TOP: 1,
+    OpKind.EXCHANGE_GATHER: 1,
+    OpKind.EXCHANGE_REPARTITION: 1,
+    OpKind.SPOOL: 1,
+    OpKind.FILTER: 1,
+}
+
+_LEAF_KINDS = (OpKind.COLUMNSTORE_SCAN, OpKind.TABLE_SCAN, OpKind.INDEX_SEEK)
+_MEMORY_KINDS = (OpKind.HASH_JOIN, OpKind.MERGE_JOIN, OpKind.HASH_AGGREGATE,
+                 OpKind.SORT)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    rule: str
+    node: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rule} at {self.node}: {self.detail}"
+
+
+def validate_plan(plan: PlanNode) -> List[Violation]:
+    """Return all invariant violations in a plan tree (empty = valid)."""
+    violations: List[Violation] = []
+    for node in plan.walk():
+        label = node.op.name + (f"[{node.table}]" if node.table else "")
+
+        expected = _CHILD_COUNTS.get(node.op)
+        if expected is not None and len(node.children) != expected:
+            violations.append(Violation(
+                "child-count", label,
+                f"expected {expected} children, found {len(node.children)}",
+            ))
+
+        if node.op in _LEAF_KINDS and node.table is None:
+            violations.append(Violation(
+                "leaf-table", label, "scan/seek without a table reference",
+            ))
+
+        if node.rows_out < 0 or node.cpu_cost < 0 or node.memory_bytes < 0:
+            violations.append(Violation(
+                "negative-estimate", label, "negative cardinality/cost/memory",
+            ))
+
+        if node.memory_bytes > 0 and node.op not in _MEMORY_KINDS:
+            violations.append(Violation(
+                "memory-holder", label,
+                f"{node.op.value} should not hold a memory grant",
+            ))
+
+        if node.scan_bytes > 0 and node.op not in _LEAF_KINDS:
+            violations.append(Violation(
+                "scan-bytes", label, "scan bytes on a non-scan operator",
+            ))
+
+        # A serial node must not sit below a parallel one except the
+        # final gather (which is the serial/parallel boundary itself) or
+        # a Top (the serial row-goal tail the engine runs on the
+        # coordinator).
+        if node.parallel:
+            for child in node.children:
+                if not child.parallel and child.op not in (
+                    OpKind.TOP,
+                ) and not _subtree_serial_ok(child):
+                    violations.append(Violation(
+                        "parallel-boundary", label,
+                        f"parallel {node.op.value} has serial child "
+                        f"{child.op.value}",
+                    ))
+    return violations
+
+
+def _subtree_serial_ok(node: PlanNode) -> bool:
+    """A fully-serial subtree under a parallel parent is acceptable when
+    it is a tiny build side (the broadcast case)."""
+    return all(not n.parallel for n in node.walk()) and node.rows_out <= 1e6
+
+
+def assert_valid(plan: PlanNode) -> None:
+    """Raise ``AssertionError`` listing every violation (test helper)."""
+    violations = validate_plan(plan)
+    assert not violations, "\n".join(str(v) for v in violations)

@@ -1,0 +1,38 @@
+"""Resource governor: MAXDOP, grant percent, and affinity (§3, §4, §7).
+
+The paper restricts cores with cpuset *and* caps MAXDOP with "SQL Server's
+resource governor settings"; §7 additionally uses the MAXDOP query hint.
+This object carries those engine-side settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import DEFAULT_GRANT_PERCENT
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResourceGovernor:
+    """Engine-level resource settings for a run."""
+
+    max_dop: int = 32
+    grant_percent: float = DEFAULT_GRANT_PERCENT
+
+    def __post_init__(self):
+        if self.max_dop < 1:
+            raise ConfigurationError("max_dop must be >= 1")
+        if not 0 < self.grant_percent <= 100:
+            raise ConfigurationError("grant percent in (0, 100]")
+
+    def effective_dop(self, allocated_logical_cpus: int, hint: int = 0) -> int:
+        """DOP after the governor cap, core allocation, and query hint.
+
+        Mirrors the paper's methodology of limiting MAXDOP to the number
+        of allocated cores (§4) and applying per-query hints (§7).
+        """
+        dop = min(self.max_dop, allocated_logical_cpus)
+        if hint > 0:
+            dop = min(dop, hint)
+        return max(1, dop)

@@ -1,0 +1,110 @@
+"""DMV-style statistics views over a running engine.
+
+The paper's Table 3 comes from SQL Server's wait statistics (the
+``sys.dm_os_wait_stats`` view); its §8 analysis reads memory-grant
+information.  This module exposes the same surface on the simulated
+engine so analyses can be written the way a practitioner would write
+them — as queries over management views rather than pokes into model
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.engine.engine import SqlEngine
+from repro.engine.locks import WaitType
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class WaitStatRow:
+    """One row of ``dm_os_wait_stats``."""
+
+    wait_type: str
+    waiting_tasks_count: int
+    wait_time_ms: float
+
+    @property
+    def avg_wait_ms(self) -> float:
+        if self.waiting_tasks_count == 0:
+            return 0.0
+        return self.wait_time_ms / self.waiting_tasks_count
+
+
+def dm_os_wait_stats(engine: SqlEngine) -> List[WaitStatRow]:
+    """Cumulative waits by type, like ``sys.dm_os_wait_stats``."""
+    accounting = engine.locks.accounting
+    return [
+        WaitStatRow(
+            wait_type=wait_type.value,
+            waiting_tasks_count=accounting.wait_count[wait_type],
+            wait_time_ms=accounting.wait_time[wait_type] * 1000.0,
+        )
+        for wait_type in WaitType
+    ]
+
+
+@dataclass(frozen=True)
+class MemoryGrantRow:
+    """One row of ``dm_exec_query_memory_grants``-style output."""
+
+    query: str
+    requested_kb: float
+    granted_kb: float
+    spilled: bool
+
+
+def dm_exec_query_memory_grants(engine: SqlEngine, specs) -> List[MemoryGrantRow]:
+    """Grant admission outcomes for a set of query specs under the
+    engine's current governor settings."""
+    rows = []
+    for spec in specs:
+        optimized = engine.optimize(spec)
+        grant = engine.admit(optimized)
+        rows.append(
+            MemoryGrantRow(
+                query=spec.name,
+                requested_kb=grant.required_bytes / 1024.0,
+                granted_kb=grant.granted_bytes / 1024.0,
+                spilled=grant.spills,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BufferPoolSummary:
+    """A ``dm_os_buffer_descriptors`` aggregate."""
+
+    capacity_gb: float
+    database_gb: float
+    resident_fraction: float
+    reserved_for_grants_gb: float
+
+
+def dm_os_buffer_summary(engine: SqlEngine) -> BufferPoolSummary:
+    pool = engine.buffer_pool
+    return BufferPoolSummary(
+        capacity_gb=pool.capacity_bytes / GIB,
+        database_gb=pool.database.total_bytes / GIB,
+        resident_fraction=pool.resident_fraction(),
+        reserved_for_grants_gb=pool.reserved_grant_bytes / GIB,
+    )
+
+
+@dataclass(frozen=True)
+class PerfCounterRow:
+    """One row of a PCM-style snapshot."""
+
+    counter: str
+    value: float
+
+
+def pcm_snapshot(engine: SqlEngine) -> List[PerfCounterRow]:
+    """Instantaneous cumulative counters, PCM-style."""
+    return [
+        PerfCounterRow(counter=name, value=value)
+        for name, value in sorted(engine.counter_totals().items())
+    ]

@@ -1,0 +1,40 @@
+"""Shared engine-level types: storage formats, index kinds, workload
+classes (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class WorkloadClass(enum.Enum):
+    """The paper's three workload categories (§2)."""
+
+    OLTP = "oltp"
+    DSS = "dss"
+    HTAP = "htap"
+
+
+class StorageFormat(enum.Enum):
+    """Row store vs column store (Table 1)."""
+
+    ROW = "row"
+    COLUMN = "column"
+
+
+class IndexKind(enum.Enum):
+    """Index organizations used across the workload designs (Table 1)."""
+
+    BTREE_CLUSTERED = "btree_clustered"
+    BTREE_NONCLUSTERED = "btree_nonclustered"
+    COLUMNSTORE_CLUSTERED = "columnstore_clustered"
+    #: Updateable non-clustered columnstore — the HTAP design (§2.3.1).
+    COLUMNSTORE_NONCLUSTERED = "columnstore_nonclustered"
+
+
+#: Typical compression ratio achieved by columnstore segments relative to
+#: uncompressed row data (§2.2.1 cites high compression as a key benefit).
+COLUMNSTORE_COMPRESSION = 3.2
+
+#: Batch-mode execution speedup for columnstore scans relative to
+#: row-by-row processing (SIMD + batched operators, §2.2.1).
+BATCH_MODE_CPU_FACTOR = 0.35

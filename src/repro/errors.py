@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, engine, or experiment configuration."""
+
+
+class AllocationError(ConfigurationError):
+    """A resource allocation request that the hardware cannot satisfy.
+
+    Examples: asking for more logical cores than the machine has, a CAT
+    bitmask that is not contiguous, or a zero-way LLC allocation.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for a query specification."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to run against an incompatible configuration."""

@@ -1,0 +1,38 @@
+"""Hardware substrate: the simulated database server.
+
+The default machine mirrors the paper's testbed (a dual-socket Lenovo
+Thinkstation P710 with Xeon E5-2620 v4 processors): 2 sockets x 8 physical
+cores x 2 SMT threads, 20 MB LLC per socket with Intel CAT way allocation,
+64 GB DDR4, and a 1.2 TB Intel 750 NVMe SSD.
+"""
+
+from repro.hardware.cache import CacheAllocationTechnology, LastLevelCache
+from repro.hardware.cgroups import BlkioLimits, CpuSet
+from repro.hardware.cpu import CpuModel, SmtModel
+from repro.hardware.machine import Machine, MachineSpec
+from repro.hardware.memory import DramModel
+from repro.hardware.mrc import MissRatioCurve, WorkingSetComponent
+from repro.hardware.numa import NumaModel
+from repro.hardware.presets import PRESETS, preset
+from repro.hardware.storage import NvmeDevice
+from repro.hardware.topology import CpuTopology, LogicalCpu
+
+__all__ = [
+    "CacheAllocationTechnology",
+    "LastLevelCache",
+    "BlkioLimits",
+    "CpuSet",
+    "CpuModel",
+    "SmtModel",
+    "Machine",
+    "MachineSpec",
+    "DramModel",
+    "MissRatioCurve",
+    "WorkingSetComponent",
+    "NvmeDevice",
+    "NumaModel",
+    "PRESETS",
+    "preset",
+    "CpuTopology",
+    "LogicalCpu",
+]

@@ -1,0 +1,161 @@
+"""Last-level cache with Intel Cache Allocation Technology (CAT) semantics.
+
+The paper's §5 methodology, reproduced here:
+
+* each socket has a 20 MB, 20-way LLC, so one way is 1 MB per socket;
+* all cores are mapped to a single class of service (COS);
+* the COS capacity bitmask selects which ways the COS may *allocate into
+  and evict from*; bitmasks must be contiguous (hardware requirement);
+* allocations are grown as supersets: bitmask ``0b1`` for 2 MB total
+  across both sockets, ``0b11`` for 4 MB, and so on — granularity is
+  2 MB total (1 MB per socket);
+* CAT restricts allocation, not lookup: lines already resident outside
+  the assigned ways still hit.  The paper controls this by loading the
+  database after changing the allocation and rebooting before the
+  smallest allocation; :meth:`LastLevelCache.reboot` models the flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import AllocationError
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class CosBitmask:
+    """A contiguous capacity bitmask for one class of service."""
+
+    mask: int
+    num_ways_total: int
+
+    def __post_init__(self):
+        if self.mask <= 0:
+            raise AllocationError("CAT bitmask must have at least one way set")
+        if self.mask >= (1 << self.num_ways_total):
+            raise AllocationError(
+                f"bitmask 0x{self.mask:x} wider than {self.num_ways_total} ways"
+            )
+        # Contiguity check: shifting out trailing zeros must leave 2^k - 1.
+        shifted = self.mask >> self._trailing_zeros()
+        if shifted & (shifted + 1):
+            raise AllocationError(f"bitmask 0x{self.mask:x} is not contiguous")
+
+    def _trailing_zeros(self) -> int:
+        mask, count = self.mask, 0
+        while mask & 1 == 0:
+            mask >>= 1
+            count += 1
+        return count
+
+    @property
+    def num_ways(self) -> int:
+        return bin(self.mask).count("1")
+
+    @classmethod
+    def lowest_ways(cls, n: int, num_ways_total: int) -> "CosBitmask":
+        """The paper's superset-growth scheme: ways 0..n-1."""
+        if not 1 <= n <= num_ways_total:
+            raise AllocationError(f"way count must be in [1, {num_ways_total}]")
+        return cls(mask=(1 << n) - 1, num_ways_total=num_ways_total)
+
+
+class CacheAllocationTechnology:
+    """The COS -> ways mapping, mirroring the pqos utility's model."""
+
+    def __init__(self, num_ways_per_socket: int = 20, num_cos: int = 4):
+        self.num_ways = num_ways_per_socket
+        self.num_cos = num_cos
+        # COS0 is the default: all ways.
+        self._masks: Dict[int, CosBitmask] = {
+            cos: CosBitmask.lowest_ways(self.num_ways, self.num_ways)
+            for cos in range(num_cos)
+        }
+
+    def set_mask(self, cos: int, mask: CosBitmask) -> None:
+        if not 0 <= cos < self.num_cos:
+            raise AllocationError(f"no such COS: {cos}")
+        self._masks[cos] = mask
+
+    def mask(self, cos: int) -> CosBitmask:
+        if cos not in self._masks:
+            raise AllocationError(f"no such COS: {cos}")
+        return self._masks[cos]
+
+
+class LastLevelCache:
+    """The socket-pair LLC as the experiments see it.
+
+    Sizes are reported *summed across sockets* as in the paper (40 MB
+    total, allocated in 2 MB steps divided equally between sockets).
+    """
+
+    def __init__(
+        self,
+        sockets: int = 2,
+        size_per_socket: int = 20 * MIB,
+        ways_per_socket: int = 20,
+    ):
+        if size_per_socket % ways_per_socket:
+            raise AllocationError("way size must divide the cache size")
+        self.sockets = sockets
+        self.size_per_socket = size_per_socket
+        self.ways_per_socket = ways_per_socket
+        self.cat = CacheAllocationTechnology(num_ways_per_socket=ways_per_socket)
+        self._active_cos = 0
+        # Residual fraction of the *unallocated* space still holding
+        # useful lines (CAT does not prevent hits outside the mask).
+        self._residual_fraction = 0.0
+
+    @property
+    def way_size_per_socket(self) -> int:
+        return self.size_per_socket // self.ways_per_socket
+
+    @property
+    def total_size(self) -> int:
+        return self.size_per_socket * self.sockets
+
+    @property
+    def allocation_granularity(self) -> int:
+        """Smallest total allocation step (1 way on each socket)."""
+        return self.way_size_per_socket * self.sockets
+
+    def set_allocation_mb_total(self, total_mb: int) -> None:
+        """Allocate ``total_mb`` MB summed over sockets (paper's x-axis).
+
+        Must be a multiple of the 2 MB granularity.  Uses the superset
+        bitmask scheme (ways from the LSB up).
+        """
+        step = self.allocation_granularity // MIB
+        if total_mb % step:
+            raise AllocationError(
+                f"allocation must be a multiple of {step} MB, got {total_mb}"
+            )
+        ways = total_mb // step
+        self.cat.set_mask(
+            self._active_cos, CosBitmask.lowest_ways(ways, self.ways_per_socket)
+        )
+
+    def allocated_bytes(self) -> int:
+        """Bytes of LLC (across sockets) the active COS may allocate into."""
+        mask = self.cat.mask(self._active_cos)
+        return mask.num_ways * self.way_size_per_socket * self.sockets
+
+    def effective_bytes(self) -> int:
+        """Allocated bytes plus residual warm space outside the mask."""
+        allocated = self.allocated_bytes()
+        outside = self.total_size - allocated
+        return allocated + int(outside * self._residual_fraction)
+
+    def warm_outside_mask(self, fraction: float) -> None:
+        """Mark a fraction of the unallocated ways as still holding useful
+        lines (what happens when the allocation shrinks without a reboot)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise AllocationError("fraction must be within [0, 1]")
+        self._residual_fraction = fraction
+
+    def reboot(self) -> None:
+        """Flush everything (the paper reboots before the 2 MB runs)."""
+        self._residual_fraction = 0.0

@@ -1,0 +1,102 @@
+"""The assembled machine: the paper's testbed in one object.
+
+A :class:`Machine` owns a fresh :class:`~repro.sim.process.Simulator` plus
+all hardware components, wired so that experiments manipulate it exactly
+the way the paper manipulates the Thinkstation P710: through the cpuset,
+the CAT allocation, and the blkio limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cache import LastLevelCache
+from repro.hardware.cgroups import BlkioLimits, CpuSet
+from repro.hardware.cpu import CpuModel, SmtModel
+from repro.hardware.memory import DramModel
+from repro.hardware.numa import NumaModel
+from repro.hardware.storage import NvmeDevice
+from repro.hardware.topology import CpuTopology
+from repro.sim.process import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.units import MIB, gib, mb_per_s
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a machine configuration.
+
+    Defaults describe the paper's testbed (§3).
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    smt: int = 2
+    llc_per_socket_bytes: int = 20 * MIB
+    llc_ways_per_socket: int = 20
+    dram_capacity_bytes: int = gib(64)
+    ssd_read_bw: float = mb_per_s(2500)
+    ssd_write_bw: float = mb_per_s(1200)
+    #: SMT yield parameters (see :class:`repro.hardware.cpu.SmtModel`);
+    #: overridable for ablation studies (e.g. a hypothetical machine with
+    #: perfectly neutral hyper-threading).
+    smt_gain_span: float = SmtModel.gain_span
+    smt_interference_span: float = SmtModel.interference_span
+
+    def build(self, seed: int = 0) -> "Machine":
+        return Machine(spec=self, seed=seed)
+
+
+@dataclass
+class Machine:
+    """A live machine instance bound to a simulator."""
+
+    spec: MachineSpec = field(default_factory=MachineSpec)
+    seed: int = 0
+
+    def __post_init__(self):
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=self.seed)
+        self.topology = CpuTopology(
+            sockets=self.spec.sockets,
+            cores_per_socket=self.spec.cores_per_socket,
+            smt=self.spec.smt,
+        )
+        self.cpu_model = CpuModel(
+            smt=SmtModel(
+                gain_span=self.spec.smt_gain_span,
+                interference_span=self.spec.smt_interference_span,
+            )
+        )
+        self.llc = LastLevelCache(
+            sockets=self.spec.sockets,
+            size_per_socket=self.spec.llc_per_socket_bytes,
+            ways_per_socket=self.spec.llc_ways_per_socket,
+        )
+        self.dram = DramModel(capacity_bytes=self.spec.dram_capacity_bytes,
+                              sockets=self.spec.sockets)
+        self.numa = NumaModel()
+        self.ssd = NvmeDevice(
+            self.sim, read_bw=self.spec.ssd_read_bw, write_bw=self.spec.ssd_write_bw
+        )
+        self.cpuset = CpuSet(topology=self.topology)
+        self.blkio = BlkioLimits()
+
+    # -- knob application --------------------------------------------------------
+
+    def allocate_cores(self, num_logical: int) -> None:
+        """Restrict affinity to *num_logical* CPUs in the paper's order."""
+        self.cpuset.set_paper_allocation(num_logical)
+
+    def allocate_llc_mb(self, total_mb: int) -> None:
+        """Set the CAT allocation (MB summed across both sockets)."""
+        self.llc.set_allocation_mb_total(total_mb)
+
+    def apply_blkio(self, limits: BlkioLimits) -> None:
+        self.blkio = limits
+        self.ssd.set_read_limit(limits.read_bps)
+        self.ssd.set_write_limit(limits.write_bps)
+
+    def reboot(self) -> None:
+        """Flush warm cache state (paper reboots before smallest alloc)."""
+        self.llc.reboot()

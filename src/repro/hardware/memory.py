@@ -1,0 +1,74 @@
+"""DRAM capacity and bandwidth model.
+
+The testbed has 64 GB of DDR4 with a theoretical per-socket peak of
+68.3 GB/s, but only one third of the memory channels populated, so the
+achievable bandwidth is modelled at one third of peak (§3).  The QPI link
+between sockets peaks at 32 GB/s and carries remote traffic.
+
+Bandwidth acts as a *throttle*: when the demand implied by the LLC miss
+rate exceeds the achievable bandwidth, the instruction rate is scaled down
+proportionally.  The paper finds DRAM bandwidth is generally
+under-utilized, so the throttle rarely binds — but it must exist for the
+"increasing cores + decreasing caches raises bandwidth demand" analysis
+(§6, Fig 3) to be honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import CACHE_LINE, gb_per_s, gib
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Capacity plus achievable read+write bandwidth."""
+
+    capacity_bytes: int = gib(64)
+    theoretical_bw_per_socket: float = gb_per_s(68.3)
+    populated_channel_fraction: float = 1.0 / 3.0
+    sockets: int = 2
+    qpi_bw: float = gb_per_s(32.0)
+    #: Fraction of miss traffic that also generates a dirty writeback.
+    writeback_fraction: float = 0.35
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0 < self.populated_channel_fraction <= 1:
+            raise ConfigurationError("channel fraction in (0, 1]")
+
+    @property
+    def achievable_bw_per_socket(self) -> float:
+        return self.theoretical_bw_per_socket * self.populated_channel_fraction
+
+    @property
+    def achievable_bw_total(self) -> float:
+        return self.achievable_bw_per_socket * self.sockets
+
+    def read_bandwidth_demand(self, misses_per_second: float) -> float:
+        """Bytes/sec of DRAM reads implied by an LLC miss rate."""
+        if misses_per_second < 0:
+            raise ConfigurationError("negative miss rate")
+        return misses_per_second * CACHE_LINE
+
+    def write_bandwidth_demand(self, misses_per_second: float) -> float:
+        """Bytes/sec of DRAM writes (dirty writebacks) for a miss rate."""
+        return self.read_bandwidth_demand(misses_per_second) * self.writeback_fraction
+
+    def total_bandwidth_demand(self, misses_per_second: float) -> float:
+        return self.read_bandwidth_demand(misses_per_second) + self.write_bandwidth_demand(
+            misses_per_second
+        )
+
+    def throttle_factor(self, misses_per_second: float, sockets_used: int) -> float:
+        """Scale factor (<= 1) applied to the instruction rate when the
+        miss traffic would exceed the achievable bandwidth."""
+        if sockets_used < 1:
+            raise ConfigurationError("sockets_used must be >= 1")
+        available = self.achievable_bw_per_socket * min(sockets_used, self.sockets)
+        demand = self.total_bandwidth_demand(misses_per_second)
+        if demand <= available or demand == 0:
+            return 1.0
+        return available / demand

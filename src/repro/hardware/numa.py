@@ -1,0 +1,87 @@
+"""NUMA effects: remote memory accesses and QPI traffic.
+
+Fig 2's caption notes that "increasing core allocations to more than 8
+crosses the socket boundary".  Once both sockets are active, a fraction
+of memory accesses lands on the remote socket: shared structures (the
+buffer pool, lock tables) are interleaved, so threads on either socket
+remotely access roughly the interleave fraction of their misses.  Remote
+accesses pay a higher latency (the QPI hop) and consume QPI bandwidth.
+
+The model exposes two quantities the CPU layer folds into its effective
+miss penalty and the counters report:
+
+* :meth:`remote_access_fraction` — how many LLC misses are remote;
+* :meth:`effective_miss_penalty` — the blended DRAM penalty in cycles;
+* :meth:`qpi_demand_bytes_per_s` — cross-socket traffic for a miss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import AllocationShape
+from repro.units import CACHE_LINE, gb_per_s
+
+
+@dataclass(frozen=True)
+class NumaModel:
+    """Remote-access penalties for a dual-socket machine.
+
+    Defaults approximate a Broadwell-EP pair: local DRAM access ~180
+    cycles, remote ~1.55x that; QPI at 32 GB/s (§3: 8 GT/s).
+    """
+
+    local_penalty_cycles: float = 180.0
+    remote_penalty_multiplier: float = 1.55
+    #: Fraction of a workload's data that is interleaved across sockets
+    #: (shared buffer pool and engine structures).
+    interleave_fraction: float = 0.5
+    qpi_bandwidth: float = gb_per_s(32.0)
+
+    def __post_init__(self):
+        if self.local_penalty_cycles <= 0:
+            raise ConfigurationError("penalty must be positive")
+        if self.remote_penalty_multiplier < 1.0:
+            raise ConfigurationError("remote accesses are not faster than local")
+        if not 0.0 <= self.interleave_fraction <= 1.0:
+            raise ConfigurationError("interleave fraction in [0, 1]")
+
+    def remote_access_fraction(self, shape: AllocationShape) -> float:
+        """Fraction of misses served by the remote socket.
+
+        Single-socket allocations access everything locally.  Dual-socket
+        allocations remotely access half of the interleaved share
+        (each socket holds half the interleaved pages).
+        """
+        if shape.sockets_used <= 1:
+            return 0.0
+        return self.interleave_fraction / 2.0
+
+    def effective_miss_penalty(self, shape: AllocationShape) -> float:
+        """Blended DRAM penalty in cycles for an allocation shape."""
+        remote = self.remote_access_fraction(shape)
+        return self.local_penalty_cycles * (
+            1.0 + remote * (self.remote_penalty_multiplier - 1.0)
+        )
+
+    def qpi_demand_bytes_per_s(
+        self, misses_per_second: float, shape: AllocationShape
+    ) -> float:
+        """Cross-socket traffic implied by an LLC miss rate."""
+        if misses_per_second < 0:
+            raise ConfigurationError("negative miss rate")
+        return (
+            misses_per_second
+            * self.remote_access_fraction(shape)
+            * CACHE_LINE
+        )
+
+    def qpi_throttle_factor(
+        self, misses_per_second: float, shape: AllocationShape
+    ) -> float:
+        """Scale factor (<=1) when QPI traffic would exceed the link."""
+        demand = self.qpi_demand_bytes_per_s(misses_per_second, shape)
+        if demand <= self.qpi_bandwidth or demand == 0:
+            return 1.0
+        return self.qpi_bandwidth / demand

@@ -1,0 +1,74 @@
+"""Machine presets: the testbed and hypothetical server designs.
+
+The paper's audience includes computer architects sizing future database
+servers (§1), and its §6 analysis argues that "increasing cores and
+decreasing caches will each result in increasing the DRAM bandwidth
+requirement, but this appears to be feasible as currently the available
+bandwidth is under-utilized" — the scale-out-processor thesis it cites.
+These presets make such design studies one line of code:
+
+>>> from repro.hardware.presets import SCALE_OUT
+>>> machine = SCALE_OUT.build()
+"""
+
+from __future__ import annotations
+
+from repro.hardware.machine import MachineSpec
+from repro.units import MIB, gib, mb_per_s
+
+#: The paper's testbed: Lenovo P710, 2x Xeon E5-2620 v4 (§3).
+PAPER_TESTBED = MachineSpec()
+
+#: A small single-socket box (entry server / large VM).
+SINGLE_SOCKET = MachineSpec(
+    sockets=1,
+    cores_per_socket=8,
+    smt=2,
+    llc_per_socket_bytes=20 * MIB,
+    llc_ways_per_socket=20,
+    dram_capacity_bytes=gib(32),
+)
+
+#: A scale-up four-socket box with a big LLC.
+SCALE_UP = MachineSpec(
+    sockets=2,
+    cores_per_socket=16,
+    smt=2,
+    llc_per_socket_bytes=40 * MIB,
+    llc_ways_per_socket=20,
+    dram_capacity_bytes=gib(256),
+    ssd_read_bw=mb_per_s(5000),
+    ssd_write_bw=mb_per_s(2500),
+)
+
+#: The scale-out design the paper's §6 points toward (and [31] proposes):
+#: many cores, deliberately small LLC — trading the under-utilized cache
+#: for compute, and spending the freed area on cores.
+SCALE_OUT = MachineSpec(
+    sockets=2,
+    cores_per_socket=16,
+    smt=2,
+    llc_per_socket_bytes=8 * MIB,
+    llc_ways_per_socket=8,
+    dram_capacity_bytes=gib(64),
+)
+
+#: A no-SMT variant of the testbed (hyper-threading disabled in BIOS) —
+#: useful for isolating the §4 SMT effects.
+NO_SMT_TESTBED = MachineSpec(smt=1)
+
+PRESETS = {
+    "paper-testbed": PAPER_TESTBED,
+    "single-socket": SINGLE_SOCKET,
+    "scale-up": SCALE_UP,
+    "scale-out": SCALE_OUT,
+    "no-smt": NO_SMT_TESTBED,
+}
+
+
+def preset(name: str) -> MachineSpec:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; one of {sorted(PRESETS)}")

@@ -1,0 +1,127 @@
+"""Non-volatile storage: the NVMe device plus cgroup blkio limits.
+
+The device itself has sequential read/write bandwidth ceilings (the
+Intel 750 in the testbed: 2500 MB/s read, 1200 MB/s write).  On top of the
+device, the experiments impose *cgroup* limits via systemd's
+``BlockIOReadBandwidth`` / ``BlockIOWriteBandwidth`` (§6, Fig 5).  Both
+layers are token buckets; a request must clear the cgroup bucket and then
+the device bucket, so the effective cap is the minimum of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.process import Simulator, Timeout
+from repro.sim.resources import TokenBucket
+from repro.units import mb_per_s
+
+#: Latency of one small random read (NVMe 8 KiB read ~ 90 us).
+RANDOM_READ_LATENCY = 90e-6
+
+
+class NvmeDevice:
+    """A bandwidth-limited block device with independent read/write paths."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        read_bw: float = mb_per_s(2500),
+        write_bw: float = mb_per_s(1200),
+        name: str = "nvme0",
+    ):
+        if read_bw <= 0 or write_bw <= 0:
+            raise ConfigurationError("device bandwidths must be positive")
+        self._sim = sim
+        self.name = name
+        self.device_read_bw = read_bw
+        self.device_write_bw = write_bw
+        burst_r = read_bw * 0.01  # ~10 ms of burst absorbs request jitter
+        burst_w = write_bw * 0.01
+        self._device_read = TokenBucket(sim, read_bw, burst=burst_r, name=f"{name}.rd")
+        self._device_write = TokenBucket(sim, write_bw, burst=burst_w, name=f"{name}.wr")
+        self._cgroup_read = TokenBucket(sim, None, name=f"{name}.cg.rd")
+        self._cgroup_write = TokenBucket(sim, None, name=f"{name}.cg.wr")
+
+    # -- cgroup blkio front-end -------------------------------------------------
+
+    def set_read_limit(self, limit: Optional[float]) -> None:
+        """Apply (or clear, with ``None``) a BlockIOReadBandwidth cap."""
+        if limit is not None and limit <= 0:
+            raise ConfigurationError("read limit must be positive or None")
+        burst = (limit * 0.01) if limit else 0.0
+        self._cgroup_read.burst = burst
+        self._cgroup_read.set_rate(limit)
+
+    def set_write_limit(self, limit: Optional[float]) -> None:
+        """Apply (or clear, with ``None``) a BlockIOWriteBandwidth cap."""
+        if limit is not None and limit <= 0:
+            raise ConfigurationError("write limit must be positive or None")
+        burst = (limit * 0.01) if limit else 0.0
+        self._cgroup_write.burst = burst
+        self._cgroup_write.set_rate(limit)
+
+    @property
+    def effective_read_bw(self) -> float:
+        cgroup = self._cgroup_read.rate
+        return self.device_read_bw if cgroup is None else min(self.device_read_bw, cgroup)
+
+    @property
+    def effective_write_bw(self) -> float:
+        cgroup = self._cgroup_write.rate
+        return self.device_write_bw if cgroup is None else min(self.device_write_bw, cgroup)
+
+    # -- IO path ------------------------------------------------------------------
+
+    #: Multi-GB transfers are split so that small requests (a
+    #: transaction's page read, a log flush) are not head-of-line blocked
+    #: behind a whole scan; in-flight interpolation in the buckets keeps
+    #: 1-second counter sampling smooth regardless of chunk size.
+    CHUNK_BYTES = 64 * 1024 * 1024
+
+    def read(self, nbytes: float) -> Generator:
+        """Generator: complete a read of *nbytes* through both buckets."""
+        if nbytes < 0:
+            raise ConfigurationError("negative read size")
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(self.CHUNK_BYTES, remaining)
+            yield from self._cgroup_read.consume(chunk)
+            yield from self._device_read.consume(chunk)
+            remaining -= chunk
+        return None
+
+    def read_pages(self, num_pages: float, page_bytes: int) -> Generator:
+        """Generator: random point reads — per-page latency plus bandwidth.
+
+        Latencies overlap across concurrent readers (each just waits);
+        bandwidth is shared through the buckets as usual.
+        """
+        if num_pages <= 0:
+            return None
+        yield Timeout(RANDOM_READ_LATENCY * num_pages)
+        yield from self.read(num_pages * page_bytes)
+        return None
+
+    def write(self, nbytes: float) -> Generator:
+        """Generator: complete a write of *nbytes* through both buckets."""
+        if nbytes < 0:
+            raise ConfigurationError("negative write size")
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(self.CHUNK_BYTES, remaining)
+            yield from self._cgroup_write.consume(chunk)
+            yield from self._device_write.consume(chunk)
+            remaining -= chunk
+        return None
+
+    # -- iostat-style accounting ----------------------------------------------------
+
+    @property
+    def bytes_read(self) -> float:
+        return self._device_read.served_bytes
+
+    @property
+    def bytes_written(self) -> float:
+        return self._device_write.served_bytes

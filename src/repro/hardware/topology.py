@@ -1,0 +1,138 @@
+"""CPU topology: sockets, physical cores, SMT siblings, allocation order.
+
+The paper's §4 methodology allocates cores in a specific order:
+
+    "As we increase the number of allocated cores from 1 to 16, we first
+     allocate cores on socket 0, with one logical core corresponding to
+     each physical core, before allocating cores from socket 1.  Finally,
+     for 32 cores, we allocate the second logical core for all 16 physical
+     cores."
+
+:meth:`CpuTopology.paper_allocation` reproduces exactly that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class LogicalCpu:
+    """A schedulable hardware thread.
+
+    ``smt_index`` is 0 for the first hardware thread of a physical core and
+    1 for its hyper-threaded sibling.
+    """
+
+    cpu_id: int
+    socket: int
+    physical_core: int  # global physical core index
+    smt_index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"cpu{self.cpu_id}(s{self.socket}/c{self.physical_core}/t{self.smt_index})"
+
+
+class CpuTopology:
+    """Sockets x physical cores x SMT threads, with affinity helpers."""
+
+    def __init__(self, sockets: int = 2, cores_per_socket: int = 8, smt: int = 2):
+        if sockets < 1 or cores_per_socket < 1 or smt < 1:
+            raise AllocationError("topology dimensions must be positive")
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+        self.smt = smt
+        self._cpus: List[LogicalCpu] = []
+        cpu_id = 0
+        # Enumerate SMT-major like Linux on this platform: cpu N and
+        # cpu N + total_physical are siblings.
+        for smt_index in range(smt):
+            for socket in range(sockets):
+                for core in range(cores_per_socket):
+                    self._cpus.append(
+                        LogicalCpu(
+                            cpu_id=cpu_id,
+                            socket=socket,
+                            physical_core=socket * cores_per_socket + core,
+                            smt_index=smt_index,
+                        )
+                    )
+                    cpu_id += 1
+
+    @property
+    def total_physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_logical_cpus(self) -> int:
+        return self.total_physical_cores * self.smt
+
+    @property
+    def cpus(self) -> Tuple[LogicalCpu, ...]:
+        return tuple(self._cpus)
+
+    def cpu(self, cpu_id: int) -> LogicalCpu:
+        if not 0 <= cpu_id < len(self._cpus):
+            raise AllocationError(f"no such logical cpu: {cpu_id}")
+        return self._cpus[cpu_id]
+
+    def siblings(self, cpu_id: int) -> List[LogicalCpu]:
+        """All logical CPUs sharing the physical core of *cpu_id*."""
+        target = self.cpu(cpu_id)
+        return [c for c in self._cpus if c.physical_core == target.physical_core]
+
+    def paper_allocation(self, num_cpus: int) -> FrozenSet[int]:
+        """The paper's §4 allocation order for *num_cpus* logical CPUs.
+
+        Physical cores of socket 0 first, then socket 1, then the SMT
+        siblings in the same order.
+        """
+        if not 1 <= num_cpus <= self.total_logical_cpus:
+            raise AllocationError(
+                f"num_cpus must be in [1, {self.total_logical_cpus}], got {num_cpus}"
+            )
+        order: List[int] = []
+        for smt_index in range(self.smt):
+            for socket in range(self.sockets):
+                for cpu in self._cpus:
+                    if cpu.socket == socket and cpu.smt_index == smt_index:
+                        order.append(cpu.cpu_id)
+        return frozenset(order[:num_cpus])
+
+    def describe_allocation(self, cpu_ids: FrozenSet[int]) -> "AllocationShape":
+        """Summarize an affinity mask into the quantities the models need."""
+        cpus = [self.cpu(cpu_id) for cpu_id in cpu_ids]
+        physical = {c.physical_core for c in cpus}
+        sockets = {c.socket for c in cpus}
+        by_core: dict = {}
+        for c in cpus:
+            by_core.setdefault(c.physical_core, []).append(c)
+        smt_pairs = sum(1 for mates in by_core.values() if len(mates) > 1)
+        return AllocationShape(
+            logical_cpus=len(cpus),
+            physical_cores=len(physical),
+            sockets_used=len(sockets),
+            smt_paired_cores=smt_pairs,
+        )
+
+
+@dataclass(frozen=True)
+class AllocationShape:
+    """Shape summary of an affinity mask.
+
+    ``smt_paired_cores`` counts the physical cores that have both hardware
+    threads allocated — the quantity that decides how much SMT gain or
+    interference applies.
+    """
+
+    logical_cpus: int
+    physical_cores: int
+    sockets_used: int
+    smt_paired_cores: int
+
+    @property
+    def crosses_socket_boundary(self) -> bool:
+        return self.sockets_used > 1

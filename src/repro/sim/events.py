@@ -1,0 +1,120 @@
+"""Event heap and simulation clock.
+
+The :class:`EventLoop` is a classic calendar: events are ``(time, seq)``
+ordered in a binary heap, where ``seq`` is a monotonically increasing tie
+breaker so that events scheduled at the same instant fire in FIFO order and
+runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A schedulable occurrence with an optional payload.
+
+    An event may be *cancelled* before it fires; cancelled events stay in
+    the heap but are skipped by the loop (lazy deletion).
+    """
+
+    __slots__ = ("time", "callback", "payload", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[["Event"], None], payload: Any = None):
+        self.time = time
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class EventLoop:
+    """A deterministic discrete-event calendar.
+
+    >>> loop = EventLoop()
+    >>> out = []
+    >>> _ = loop.schedule_at(2.0, lambda ev: out.append("b"))
+    >>> _ = loop.schedule_at(1.0, lambda ev: out.append("a"))
+    >>> loop.run()
+    >>> out
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[Event], None], payload: Any = None) -> Event:
+        """Schedule *callback* to fire at absolute simulation time *time*."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule event in the past: {time} < {self._now}")
+        event = Event(time, callback, payload)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[Event], None], payload: Any = None) -> Event:
+        """Schedule *callback* to fire *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, payload)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns ``False`` if none remain."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            event.fired = True
+            event.callback(event)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the heap drains or the clock passes *until*.
+
+        When *until* is given the clock is advanced to exactly *until* at
+        the end of the run, even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,150 @@
+"""Generator-based cooperating processes on top of the event loop.
+
+A *process* is a Python generator that yields *commands*:
+
+* :class:`Timeout` — suspend for a simulated duration,
+* :class:`WaitEvent` — suspend until another process triggers a condition,
+* another :class:`Process` — suspend until that process terminates.
+
+This mirrors the SimPy programming model but is self-contained (no external
+dependencies) and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+class Timeout:
+    """Yield target: suspend the process for *delay* simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class WaitEvent:
+    """A one-shot condition processes can wait on.
+
+    A process yields the WaitEvent to suspend; another process (or plain
+    callback code) calls :meth:`trigger` to resume all waiters with an
+    optional value.
+    """
+
+    def __init__(self, simulator: "Simulator"):
+        self._sim = simulator
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List["Process"] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the condition, waking every waiting process (FIFO)."""
+        if self._triggered:
+            raise SimulationError("WaitEvent triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.loop.schedule_after(0.0, lambda ev, p=proc: p._resume(value))
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+
+class Process:
+    """A running generator, driven by the simulator's event loop."""
+
+    def __init__(self, simulator: "Simulator", generator: Generator, name: str = "proc"):
+        self._sim = simulator
+        self._gen = generator
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self._done = WaitEvent(simulator)
+
+    @property
+    def done(self) -> WaitEvent:
+        """WaitEvent that triggers (with the return value) on termination."""
+        return self._done
+
+    def _start(self) -> None:
+        self._sim.loop.schedule_after(0.0, lambda ev: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self._done.trigger(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._sim.loop.schedule_after(command.delay, lambda ev: self._resume(None))
+        elif isinstance(command, WaitEvent):
+            if command.triggered:
+                self._sim.loop.schedule_after(0.0, lambda ev: self._resume(command.value))
+            else:
+                command._add_waiter(self)
+        elif isinstance(command, Process):
+            self._dispatch(command.done)
+        else:
+            raise SimulationError(f"process {self.name!r} yielded unsupported command: {command!r}")
+
+    def interrupt(self) -> None:
+        """Terminate the process without resuming it again."""
+        self.alive = False
+        self._gen.close()
+
+
+class Simulator:
+    """Facade bundling an event loop with process management.
+
+    >>> sim = Simulator()
+    >>> def worker():
+    ...     yield Timeout(1.5)
+    ...     return "done"
+    >>> proc = sim.spawn(worker())
+    >>> sim.run()
+    >>> (round(sim.now, 6), proc.result)
+    (1.5, 'done')
+    """
+
+    def __init__(self) -> None:
+        self.loop = EventLoop()
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def spawn(self, generator: Generator, name: str = "proc") -> Process:
+        """Create and start a process from a generator."""
+        proc = Process(self, generator, name=name)
+        proc._start()
+        return proc
+
+    def event(self) -> WaitEvent:
+        """Create a fresh one-shot wait event."""
+        return WaitEvent(self)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the event loop until it drains or the clock passes *until*."""
+        self.loop.run(until=until)

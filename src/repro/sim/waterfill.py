@@ -1,0 +1,170 @@
+"""Capacity sharing with per-job rate caps (water-filling).
+
+The CPU model needs a resource where total capacity ``C`` is shared among
+jobs, but job *i* can never use more than its own cap ``m_i`` (a query with
+degree of parallelism 4 cannot occupy more than 4 cores even if 32 are
+idle).  The fair allocation is *water-filling*: start from an equal split
+and redistribute the share that capped jobs cannot use among the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.process import Simulator, WaitEvent
+
+
+def waterfill(
+    capacity: float,
+    caps: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Allocate *capacity* among jobs with per-job maxima *caps*.
+
+    Shares are proportional to *weights* (default: the caps themselves,
+    so a 32-worker query weighs 32 times a single-worker transaction),
+    clipped at each job's cap, with the excess redistributed among the
+    unsaturated jobs.
+
+    >>> waterfill(10.0, [1.0, 100.0, 100.0], weights=[1.0, 1.0, 1.0])
+    [1.0, 4.5, 4.5]
+    """
+    n = len(caps)
+    if n == 0:
+        return []
+    if capacity < 0:
+        raise SimulationError("negative capacity")
+    if weights is None:
+        weights = list(caps)
+    if len(weights) != n:
+        raise SimulationError("weights must match caps")
+    if any(w <= 0 for w in weights):
+        raise SimulationError("weights must be positive")
+    rates = [0.0] * n
+    remaining = capacity
+    active = list(range(n))
+    while active and remaining > 1e-15:
+        total_weight = sum(weights[i] for i in active)
+        shares = {i: remaining * weights[i] / total_weight for i in active}
+        saturated = [i for i in active if caps[i] - rates[i] <= shares[i]]
+        if not saturated:
+            for i in active:
+                rates[i] += shares[i]
+            break
+        for i in saturated:
+            remaining -= caps[i] - rates[i]
+            rates[i] = caps[i]
+        saturated_set = set(saturated)
+        active = [i for i in active if i not in saturated_set]
+    return rates
+
+
+class WaterfillServer:
+    """Processor-sharing server with per-job rate caps.
+
+    Jobs submit an amount of work and a cap on the rate at which they may
+    be served.  At any instant rates follow :func:`waterfill`.  Completion
+    events are recomputed whenever the active set changes.
+    """
+
+    class _Job:
+        __slots__ = ("remaining", "cap", "gate", "event")
+
+        def __init__(self, remaining: float, cap: float, gate: WaitEvent):
+            self.remaining = remaining
+            self.cap = cap
+            self.gate = gate
+            self.event = None
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "waterfill"):
+        if capacity <= 0:
+            raise SimulationError(f"{name}: capacity must be positive")
+        self._sim = sim
+        self._capacity = capacity
+        self.name = name
+        self._jobs: Dict[int, WaterfillServer._Job] = {}
+        self._next_id = 0
+        self._last_update = 0.0
+        self.total_work_done = 0.0
+        self._busy_time_area = 0.0  # integral of (work rate) over time
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change total capacity at runtime (e.g. cpuset change)."""
+        if capacity <= 0:
+            raise SimulationError(f"{self.name}: capacity must be positive")
+        self._advance()
+        self._capacity = capacity
+        self._reschedule()
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def active_weight(self) -> float:
+        """Sum of the active jobs' rate caps (busy-core estimate)."""
+        return sum(min(job.cap, self._capacity) for job in self._jobs.values())
+
+    def utilization(self, end_time: float) -> float:
+        """Mean fraction of capacity in use over [0, end_time]."""
+        self._advance()
+        if end_time <= 0:
+            return 0.0
+        return self._busy_time_area / (self._capacity * end_time)
+
+    def _rates(self) -> Dict[int, float]:
+        ids = list(self._jobs.keys())
+        caps = [self._jobs[i].cap for i in ids]
+        rates = waterfill(self._capacity, caps)
+        return dict(zip(ids, rates))
+
+    def _advance(self) -> None:
+        now = self._sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._jobs:
+            for job_id, rate in self._rates().items():
+                job = self._jobs[job_id]
+                done = rate * elapsed
+                job.remaining = max(0.0, job.remaining - done)
+                self.total_work_done += done
+                self._busy_time_area += done
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        rates = self._rates()
+        for job_id, job in list(self._jobs.items()):
+            if job.event is not None:
+                job.event.cancel()
+            rate = rates.get(job_id, 0.0)
+            delay = job.remaining / rate if rate > 0 else float("inf")
+            job.event = self._sim.loop.schedule_after(
+                delay, lambda ev, jid=job_id: self._complete(jid)
+            )
+
+    def _complete(self, job_id: int) -> None:
+        self._advance()
+        job = self._jobs.pop(job_id, None)
+        if job is None:
+            return
+        self._reschedule()
+        job.gate.trigger()
+
+    def submit(self, work: float, cap: float) -> Generator:
+        """Generator: suspends until *work* is served at rate <= *cap*."""
+        if work < 0:
+            raise SimulationError(f"{self.name}: negative work {work}")
+        if cap <= 0:
+            raise SimulationError(f"{self.name}: cap must be positive")
+        if work == 0:
+            return None
+        self._advance()
+        gate = self._sim.event()
+        self._jobs[self._next_id] = WaterfillServer._Job(work, cap, gate)
+        self._next_id += 1
+        self._reschedule()
+        yield gate
+        return None

@@ -1,0 +1,138 @@
+"""Open-loop arrival processes.
+
+The benchmark configurations of §3 are *closed-loop*: a fixed client
+population issues the next request when the previous one completes, so
+offered load adapts to service capacity.  Cloud front-ends are often
+better modelled *open-loop*: requests arrive at a fixed rate regardless
+of completion, and latency explodes as utilization approaches one.
+
+:class:`OpenLoopDriver` wraps any transactional workload's demand
+generator with a Poisson (or deterministic) arrival process, enabling
+latency-versus-offered-load studies — the operating-point view behind
+the paper's SLA discussion (§10's first research question notes runtime
+resource changes are easiest to evaluate against a fixed load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.engine.engine import SqlEngine
+from repro.errors import WorkloadError
+from repro.sim.process import Timeout
+from repro.sim.stats import Cdf
+from repro.workloads.oltp import OltpWorkloadBase
+
+
+@dataclass
+class OpenLoopResult:
+    """Observables of one open-loop run."""
+
+    offered_tps: float
+    completed: int = 0
+    dropped: int = 0
+    latencies: Cdf = field(default_factory=Cdf)
+
+    @property
+    def completed_tps(self) -> float:
+        return self._rate
+
+    _rate: float = 0.0
+
+    def finalize(self, duration: float) -> None:
+        self._rate = self.completed / duration if duration > 0 else 0.0
+
+    def percentile_ms(self, p: float) -> float:
+        return self.latencies.percentile(p) * 1000.0
+
+
+class OpenLoopDriver:
+    """Issues transactions at a fixed rate against an engine.
+
+    ``max_in_flight`` bounds concurrency (an admission queue); arrivals
+    beyond the bound are dropped and counted, like a front-end shedding
+    load.
+    """
+
+    def __init__(
+        self,
+        workload: OltpWorkloadBase,
+        engine: SqlEngine,
+        offered_tps: float,
+        deterministic: bool = False,
+        max_in_flight: int = 10_000,
+        seed_stream: str = "openloop",
+    ):
+        if offered_tps <= 0:
+            raise WorkloadError("offered rate must be positive")
+        if max_in_flight < 1:
+            raise WorkloadError("need at least one in-flight slot")
+        self.workload = workload
+        self.engine = engine
+        self.offered_tps = offered_tps
+        self.deterministic = deterministic
+        self.max_in_flight = max_in_flight
+        self._rng = engine.machine.streams.get(seed_stream)
+        self._in_flight = 0
+        self.result = OpenLoopResult(offered_tps=offered_tps)
+
+    def start(self, until: float) -> None:
+        self.engine.machine.sim.spawn(self._arrivals(until), name="open-loop")
+
+    def run(self, duration: float) -> OpenLoopResult:
+        """Convenience: start, simulate, finalize, return the result."""
+        self.start(until=duration)
+        self.engine.machine.sim.run(until=duration)
+        self.result.finalize(duration)
+        return self.result
+
+    # -- internals -------------------------------------------------------------
+
+    def _arrivals(self, until: float) -> Generator:
+        sim = self.engine.machine.sim
+        types = self.workload.transaction_types()
+        weights = np.array([t.weight for t in types], dtype=float)
+        weights /= weights.sum()
+        while sim.now < until:
+            gap = (
+                1.0 / self.offered_tps
+                if self.deterministic
+                else float(self._rng.exponential(1.0 / self.offered_tps))
+            )
+            yield Timeout(gap)
+            if sim.now >= until:
+                break
+            if self._in_flight >= self.max_in_flight:
+                self.result.dropped += 1
+                continue
+            txn_type = types[self._rng.choice(len(types), p=weights)]
+            demand = self.workload.build_demand(self.engine, txn_type, self._rng)
+            self._in_flight += 1
+            sim.spawn(self._execute(demand), name="open-loop-txn")
+        return None
+
+    def _execute(self, demand) -> Generator:
+        result = yield from self.engine.run_transaction(demand)
+        self._in_flight -= 1
+        self.result.completed += 1
+        self.result.latencies.add(result.elapsed)
+        return None
+
+
+def latency_curve(
+    workload_factory,
+    engine_factory,
+    offered_rates: List[float],
+    duration: float = 10.0,
+) -> List[OpenLoopResult]:
+    """Latency/throughput at each offered rate (fresh engine per point)."""
+    results = []
+    for rate in offered_rates:
+        workload = workload_factory()
+        engine = engine_factory(workload)
+        driver = OpenLoopDriver(workload, engine, offered_tps=rate)
+        results.append(driver.run(duration))
+    return results

@@ -1,0 +1,141 @@
+"""HTAP: TPC-E transactions plus concurrent analytics (§2.3).
+
+100 users total: 99 run the TPC-E transactional mix; 1 runs four
+analytical queries sequentially, over and over, against the same database
+(which carries updateable non-clustered columnstore indexes on the large
+fast-growing tables per §2.3.1).  Reported metrics: OLTP TPS and
+analytics queries (QPH in the paper; we track per-second rates and let
+the reporting layer scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.engine.catalog import Database
+from repro.engine.engine import SqlEngine
+from repro.engine.optimizer.queryspec import JoinEdge, QuerySpec, TableRef
+from repro.engine.schemas import build_htap
+from repro.engine.sqlos import ExecutionCharacteristics
+from repro.workloads.base import ThroughputTracker
+from repro.workloads.oltp import OltpWorkloadBase, TransactionType
+from repro.workloads.profiles import execution_profile
+from repro.workloads.tpce import TPCE_MIX
+
+_T = TableRef
+_J = JoinEdge
+
+
+def htap_queries(scale_factor: int) -> Tuple[QuerySpec, ...]:
+    """The four analytical queries over the TPC-E schema (§2.3): large
+    scans, joins, and aggregations over the fast-growing tables."""
+    sf = scale_factor
+    return (
+        QuerySpec(
+            name="H1-trade-volume",
+            tables=(
+                _T("trade", "t", selectivity=0.4, column_fraction=0.3),
+                _T("security", "sec", column_fraction=0.4),
+            ),
+            joins=(_J("t", "sec", key_side="sec"),),
+            group_rows=min(1000.0, 0.685 * sf),
+            sort_rows=min(1000.0, 0.685 * sf),
+            optimizer_cost_scale=4.0,  # large scans always go parallel
+        ),
+        QuerySpec(
+            name="H2-settlement-aging",
+            tables=(
+                _T("trade", "t", selectivity=0.6, column_fraction=0.25),
+                _T("settlement", "se", column_fraction=0.3),
+            ),
+            joins=(_J("se", "t", key_side="t"),),
+            group_rows=30,
+            sort_rows=30,
+            optimizer_cost_scale=4.0,
+        ),
+        QuerySpec(
+            name="H3-history-scan",
+            tables=(_T("trade_history", "th", selectivity=0.8, column_fraction=0.35),),
+            group_rows=50,
+            sort_rows=50,
+            optimizer_cost_scale=4.0,
+        ),
+        QuerySpec(
+            name="H4-customer-activity",
+            tables=(
+                _T("trade", "t", selectivity=0.5, column_fraction=0.3),
+                _T("customer_account", "ca", column_fraction=0.4),
+                _T("customer", "c", column_fraction=0.3),
+            ),
+            joins=(
+                _J("t", "ca", key_side="ca"),
+                _J("ca", "c", key_side="c"),
+            ),
+            group_rows=1000.0,
+            sort_rows=1000.0,
+            top=100,
+            optimizer_cost_scale=4.0,
+        ),
+    )
+
+
+class HtapWorkload(OltpWorkloadBase):
+    """99 transactional users + 1 analytical user (§3)."""
+
+    primary_kind = "txn"
+
+    def __init__(self, scale_factor: int, oltp_clients: int = 99, dss_clients: int = 1):
+        super().__init__(scale_factor, clients=oltp_clients)
+        self.dss_clients = dss_clients
+
+    @property
+    def name(self) -> str:
+        return "htap"
+
+    def build_database(self) -> Database:
+        return build_htap(self.scale_factor)
+
+    def execution_characteristics(self) -> ExecutionCharacteristics:
+        return execution_profile("htap", self.scale_factor)
+
+    def transaction_types(self) -> Tuple[TransactionType, ...]:
+        return TPCE_MIX
+
+    def engine_parameters(self) -> Dict:
+        params = super().engine_parameters()
+        params["concurrent_grant_slots"] = self.dss_clients
+        # OLTP and DSS components must contend for the same cores.
+        params["share_cpu_pool"] = True
+        return params
+
+    def spawn_clients(
+        self, engine: SqlEngine, tracker: ThroughputTracker, until: float
+    ) -> List:
+        procs = super().spawn_clients(engine, tracker, until)
+        sim = engine.machine.sim
+        for i in range(self.dss_clients):
+            procs.append(
+                sim.spawn(
+                    self._analytics_user(engine, tracker, until),
+                    name=f"htap-dss-{i}",
+                )
+            )
+        return procs
+
+    def _analytics_user(self, engine, tracker, until) -> Generator:
+        """The analytical component: four queries, sequentially, repeated
+        until the end of the run (§3)."""
+        sim = engine.machine.sim
+        queries = htap_queries(self.scale_factor)
+        while sim.now < until:
+            for spec in queries:
+                if sim.now >= until:
+                    break
+                result = yield from engine.run_query(spec)
+                tracker.record("query", result.elapsed)
+                tracker.record(spec.name, result.elapsed)
+        return None
+
+    def analytics_qph(self, tracker: ThroughputTracker, elapsed: float) -> float:
+        """Queries per hour of the analytical component (§2.3 metric)."""
+        return tracker.rate("query", elapsed) * 3600.0

@@ -1,0 +1,136 @@
+"""Calibrated execution profiles: CPI parameters and miss-ratio curves.
+
+Every number here is a model parameter standing in for measurements the
+paper took on real hardware.  The calibration targets (verified by tests
+with tolerances) are:
+
+* §4 hyper-threading effects at 40 MB LLC / 32 logical cores:
+  TPC-H perf16/perf32 = 1.72 / 1.27 / 0.93 / 0.82 for SF 10/30/100/300;
+  ASDB gains 5-6.8% from HT; TPC-E gains 16.7-24.2%.
+  The SMT yield is a function of the memory-stall fraction
+  (:class:`repro.hardware.cpu.SmtModel`), so the MRCs are shaped to land
+  the right stall fractions at full cache.
+* §5 cache sensitivity: knees at small allocations; TPC-H SF100 speedup
+  3.4x from 2->10 MB and +26% from 10->40 MB; Table 4 sufficient-LLC
+  sizes (analytical/hybrid workloads need more cache than transactional).
+
+Working-set components follow the workload structure: ``hot1`` is the
+densest engine state (B-tree roots, hash-bucket headers, hot rows),
+``hot2`` a second locality class (upper intermediate results, hot pages),
+``warm`` the bulk reuse set, and an infinite ``stream`` component for
+scans / random lookups over data far larger than any LLC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.sqlos import ExecutionCharacteristics
+from repro.errors import ConfigurationError
+from repro.hardware.mrc import MissRatioCurve, WorkingSetComponent
+from repro.units import MIB
+
+# Component tables: (hot1_mib, hot1_apki, hot2_mib, hot2_apki,
+#                    warm_mib, warm_apki, stream_apki)
+_MrcRow = Tuple[float, float, float, float, float, float, float]
+
+TPCH_MRC: Dict[int, _MrcRow] = {
+    # Analytical working sets grow with scale factor: bigger hash tables,
+    # bigger run state, more streaming traffic.  At SF=10 the warm set
+    # just overflows the LLC when hyper-threading inflates footprints
+    # (the §4 detriment); at SF>=30 the reused state either fits at both
+    # footprints or never fits, so HT's cache cost fades while its
+    # stall-filling gain grows.
+    10: (4.0, 12.0, 1.0, 2.0, 26.0, 2.2, 0.93),
+    30: (4.0, 30.0, 1.5, 5.0, 1.0, 6.0, 3.4),
+    100: (6.0, 110.0, 5.0, 7.0, 53.0, 10.0, 14.3),
+    300: (3.0, 55.0, 4.0, 12.0, 16.0, 8.0, 32.0),
+}
+
+TPCE_MRC: Dict[int, _MrcRow] = {
+    # Random point lookups over data far larger than the LLC dominate at
+    # both scale factors.  The *smaller* scale factor carries a slightly
+    # larger streaming term: concentrated hot-row traffic ping-pongs
+    # cache lines between cores (coherence misses from lock/latch
+    # convoys), which is the flip side of Table 3's higher LOCK and
+    # PAGELATCH waits at SF=5000 — and the reason the paper sees higher
+    # TPS at SF=15000 despite its extra IO (§4).
+    5000: (1.5, 70.0, 2.0, 6.0, 12.0, 3.0, 27.0),
+    15000: (3.0, 70.0, 3.0, 8.0, 18.0, 4.0, 25.0),
+}
+
+ASDB_MRC: Dict[int, _MrcRow] = {
+    2000: (2.0, 60.0, 3.0, 5.0, 20.0, 2.5, 15.0),
+    6000: (2.5, 62.0, 3.5, 6.0, 24.0, 3.0, 16.5),
+}
+
+HTAP_MRC: Dict[int, _MrcRow] = {
+    # Note the inversion the paper finds in Table 4: the SF=5000 HTAP mix
+    # (analytics fully in memory, running fast) has a *larger* cache
+    # appetite than SF=15000 (analytics IO-bound).
+    # As with TPC-E, concentrated hot-row traffic at the smaller scale
+    # factor adds coherence misses (higher streaming term), so the OLTP
+    # component runs *better* at SF=15000 while its DSS component slows
+    # down on IO (§4).
+    5000: (2.5, 65.0, 8.0, 10.0, 30.0, 5.0, 29.0),
+    15000: (2.0, 70.0, 4.0, 9.0, 25.0, 4.0, 26.0),
+}
+
+
+def _interpolate_row(table: Dict[int, _MrcRow], scale_factor: int) -> _MrcRow:
+    if scale_factor in table:
+        return table[scale_factor]
+    points = sorted(table.items())
+    if scale_factor < points[0][0]:
+        return points[0][1]
+    for (sf0, row0), (sf1, row1) in zip(points, points[1:]):
+        if scale_factor < sf1:
+            t = (scale_factor - sf0) / (sf1 - sf0)
+            return tuple(a + t * (b - a) for a, b in zip(row0, row1))  # type: ignore
+    return points[-1][1]
+
+
+def build_mrc(table: Dict[int, _MrcRow], scale_factor: int) -> MissRatioCurve:
+    h1_mib, h1_apki, h2_mib, h2_apki, w_mib, w_apki, s_apki = _interpolate_row(
+        table, scale_factor
+    )
+    components: List[WorkingSetComponent] = [
+        WorkingSetComponent("hot1", h1_mib * MIB, h1_apki),
+        WorkingSetComponent("hot2", h2_mib * MIB, h2_apki),
+        WorkingSetComponent("warm", w_mib * MIB, w_apki),
+    ]
+    if s_apki > 0:
+        components.append(
+            WorkingSetComponent("stream", float("inf"), s_apki)
+        )
+    return MissRatioCurve(components)
+
+
+# CPI parameters per workload class.  OLTP code is branchy, pointer-chasing
+# and low-MLP; batch-mode analytics is tight and overlaps misses well.
+_CPU_PARAMS = {
+    "tpch": dict(cpi_base=0.6, mlp=2.5, miss_penalty_cycles=180.0),
+    "tpce": dict(cpi_base=1.4, mlp=1.0, miss_penalty_cycles=220.0),
+    "asdb": dict(cpi_base=1.4, mlp=1.4, miss_penalty_cycles=200.0),
+    "htap": dict(cpi_base=1.2, mlp=1.2, miss_penalty_cycles=210.0),
+}
+
+_MRC_TABLES = {
+    "tpch": TPCH_MRC,
+    "tpce": TPCE_MRC,
+    "asdb": ASDB_MRC,
+    "htap": HTAP_MRC,
+}
+
+
+def execution_profile(workload: str, scale_factor: int) -> ExecutionCharacteristics:
+    """The calibrated :class:`ExecutionCharacteristics` for a workload."""
+    if workload not in _CPU_PARAMS:
+        raise ConfigurationError(f"no profile for workload {workload!r}")
+    params = _CPU_PARAMS[workload]
+    return ExecutionCharacteristics(
+        cpi_base=params["cpi_base"],
+        mlp=params["mlp"],
+        miss_penalty_cycles=params["miss_penalty_cycles"],
+        mrc=build_mrc(_MRC_TABLES[workload], scale_factor),
+    )

@@ -1,0 +1,148 @@
+"""TPC-E: the brokerage OLTP workload (§2.1).
+
+The mix approximates the TPC-E transaction blend: trade processing
+(updates, heavy logging, hot-row locks on securities and accounts),
+market feed (very hot last_trade updates), and read-mostly inquiries.
+100 users by default (§3).
+
+Latch/lock hold times and probabilities, together with scale-dependent
+hot-slot counts from :class:`~repro.workloads.oltp.OltpWorkloadBase`,
+produce Table 3's behaviour: LOCK and PAGELATCH waits shrink at SF=15000
+while PAGEIOLATCH waits explode because the database no longer fits in
+memory.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.calibration import TPCE_USERS
+from repro.engine.catalog import Database
+from repro.engine.schemas import build_tpce
+from repro.engine.sqlos import ExecutionCharacteristics
+from repro.units import KIB
+from repro.workloads.oltp import OltpWorkloadBase, TransactionType
+from repro.workloads.profiles import execution_profile
+
+#: The TPC-E-like transaction mix.  Weights loosely follow the benchmark's
+#: transaction blend; resource shapes are model calibrations.
+TPCE_MIX: Tuple[TransactionType, ...] = (
+    TransactionType(
+        name="trade_order",
+        weight=10.1,
+        instructions=28e6,
+        page_accesses=30.0,
+        log_bytes=24 * KIB,
+        main_table="trade",
+        lock_probability=0.65,
+        lock_hold_ms=1.2,
+        pagelatch_probability=0.8,
+        pagelatch_hold_ms=0.35,
+        dirty_page_writes=10.0,
+    ),
+    TransactionType(
+        name="trade_result",
+        weight=10.0,
+        instructions=32e6,
+        page_accesses=35.0,
+        log_bytes=32 * KIB,
+        main_table="trade",
+        lock_probability=0.7,
+        lock_hold_ms=1.4,
+        pagelatch_probability=0.8,
+        pagelatch_hold_ms=0.4,
+        dirty_page_writes=14.0,
+    ),
+    TransactionType(
+        name="market_feed",
+        weight=1.0,
+        instructions=18e6,
+        page_accesses=12.0,
+        log_bytes=12 * KIB,
+        main_table="last_trade",
+        lock_probability=0.95,
+        lock_hold_ms=0.9,
+        pagelatch_probability=0.6,
+        pagelatch_hold_ms=0.3,
+        dirty_page_writes=6.0,
+    ),
+    TransactionType(
+        name="trade_lookup",
+        weight=8.0,
+        instructions=24e6,
+        page_accesses=40.0,
+        log_bytes=0.0,
+        main_table="trade_history",
+        lock_probability=0.05,
+        lock_hold_ms=0.3,
+    ),
+    TransactionType(
+        name="customer_position",
+        weight=13.0,
+        instructions=16e6,
+        page_accesses=22.0,
+        log_bytes=0.0,
+        main_table="holding",
+        lock_probability=0.05,
+        lock_hold_ms=0.3,
+    ),
+    TransactionType(
+        name="market_watch",
+        weight=18.0,
+        instructions=12e6,
+        page_accesses=15.0,
+        log_bytes=0.0,
+        main_table="security",
+    ),
+    TransactionType(
+        name="security_detail",
+        weight=14.0,
+        instructions=10e6,
+        page_accesses=12.0,
+        log_bytes=0.0,
+        main_table="company",
+    ),
+    TransactionType(
+        name="trade_status",
+        weight=19.0,
+        instructions=9e6,
+        page_accesses=10.0,
+        log_bytes=0.0,
+        main_table="trade",
+        lock_probability=0.1,
+        lock_hold_ms=0.2,
+    ),
+    TransactionType(
+        name="trade_update",
+        weight=2.0,
+        instructions=30e6,
+        page_accesses=30.0,
+        log_bytes=28 * KIB,
+        main_table="trade",
+        lock_probability=0.6,
+        lock_hold_ms=1.2,
+        pagelatch_probability=0.5,
+        pagelatch_hold_ms=0.35,
+        dirty_page_writes=10.0,
+    ),
+)
+
+
+class TpceWorkload(OltpWorkloadBase):
+    """TPC-E with 100 users (§3)."""
+
+    def __init__(self, scale_factor: int, clients: int = TPCE_USERS):
+        super().__init__(scale_factor, clients=clients)
+
+    @property
+    def name(self) -> str:
+        return "tpce"
+
+    def build_database(self) -> Database:
+        return build_tpce(self.scale_factor)
+
+    def execution_characteristics(self) -> ExecutionCharacteristics:
+        return execution_profile("tpce", self.scale_factor)
+
+    def transaction_types(self) -> Tuple[TransactionType, ...]:
+        return TPCE_MIX

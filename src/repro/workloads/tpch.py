@@ -1,0 +1,426 @@
+"""TPC-H: the 22 query templates and the multi-stream DSS workload (§2.2).
+
+Each query is expressed as a :class:`QuerySpec` whose selectivities,
+join graph, aggregation, and sort shapes follow the TPC-H specification.
+Cardinality-dependent fields (group counts, sort sizes) are functions of
+the scale factor, so specs are produced by :func:`tpch_query`.
+
+The memory footprints implied by the specs (hash builds, large hash
+aggregations, sorts) are the mechanism behind Fig 8: Q18 (the big
+group-by-orderkey on lineitem) needs far more memory than any grant cap,
+while Q1/Q6-style scan+aggregate queries need almost none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from repro.calibration import TPCH_QUERY_STREAMS
+from repro.engine.catalog import Database
+from repro.engine.engine import SqlEngine
+from repro.engine.optimizer.queryspec import JoinEdge, JoinKind, QuerySpec, TableRef
+from repro.engine.schemas import build_tpch
+from repro.engine.sqlos import ExecutionCharacteristics
+from repro.errors import WorkloadError
+from repro.workloads.base import ThroughputTracker, Workload
+from repro.workloads.profiles import execution_profile
+
+_T = TableRef
+_J = JoinEdge
+
+
+def _specs_for(sf: int) -> Dict[int, QuerySpec]:
+    """Build all 22 specs for one scale factor."""
+    return {
+        1: QuerySpec(
+            name="Q1",
+            tables=(_T("lineitem", "l", selectivity=0.98, column_fraction=0.45),),
+            group_rows=4,
+            sort_rows=4,
+        ),
+        2: QuerySpec(
+            name="Q2",
+            tables=(
+                _T("part", "p", selectivity=0.004, column_fraction=0.4),
+                _T("partsupp", "ps", column_fraction=0.5),
+                _T("supplier", "s", column_fraction=0.6),
+                _T("nation", "n"),
+                _T("region", "r", selectivity=0.2),
+            ),
+            joins=(
+                _J("ps", "p", key_side="p"),
+                _J("ps", "s", key_side="s"),
+                _J("s", "n", key_side="n"),
+                _J("n", "r", key_side="r"),
+            ),
+            group_rows=0,
+            sort_rows=max(1.0, 46.0 * sf),
+            top=100,
+            correlated_passes=1.3,  # min-cost correlated subquery
+        ),
+        3: QuerySpec(
+            name="Q3",
+            tables=(
+                _T("customer", "c", selectivity=0.2, column_fraction=0.3),
+                _T("orders", "o", selectivity=0.48, column_fraction=0.35),
+                _T("lineitem", "l", selectivity=0.54, column_fraction=0.3),
+            ),
+            joins=(_J("o", "c", key_side="c"), _J("l", "o", key_side="o")),
+            group_rows=300_000.0 * sf / 100.0 * 100.0,  # ~orderkey groups
+            sort_rows=300_000.0 * sf,
+            top=10,
+        ),
+        4: QuerySpec(
+            name="Q4",
+            tables=(
+                _T("orders", "o", selectivity=0.038, column_fraction=0.3),
+                _T("lineitem", "l", selectivity=0.63, column_fraction=0.2),
+            ),
+            joins=(_J("o", "l", key_side="o", kind=JoinKind.SEMI, preserved="o"),),
+            group_rows=5,
+            sort_rows=5,
+        ),
+        5: QuerySpec(
+            name="Q5",
+            tables=(
+                _T("customer", "c", column_fraction=0.25),
+                _T("orders", "o", selectivity=0.152, column_fraction=0.3),
+                _T("lineitem", "l", column_fraction=0.3),
+                _T("supplier", "s", column_fraction=0.4),
+                _T("nation", "n", selectivity=0.2),
+                _T("region", "r", selectivity=0.2),
+            ),
+            joins=(
+                _J("o", "c", key_side="c"),
+                _J("l", "o", key_side="o"),
+                _J("l", "s", key_side="s"),
+                _J("s", "n", key_side="n"),
+                _J("n", "r", key_side="r"),
+            ),
+            group_rows=5,
+            sort_rows=5,
+        ),
+        6: QuerySpec(
+            name="Q6",
+            tables=(_T("lineitem", "l", selectivity=0.019, column_fraction=0.25),),
+            group_rows=1,
+        ),
+        7: QuerySpec(
+            name="Q7",
+            tables=(
+                _T("supplier", "s", column_fraction=0.4),
+                _T("lineitem", "l", selectivity=0.304, column_fraction=0.35),
+                _T("orders", "o", column_fraction=0.2),
+                _T("customer", "c", column_fraction=0.25),
+                _T("nation", "n1", selectivity=0.08),
+                _T("nation", "n2", selectivity=0.08),
+            ),
+            joins=(
+                _J("l", "s", key_side="s"),
+                _J("l", "o", key_side="o"),
+                _J("o", "c", key_side="c"),
+                _J("s", "n1", key_side="n1"),
+                _J("c", "n2", key_side="n2"),
+            ),
+            group_rows=4,
+            sort_rows=4,
+        ),
+        8: QuerySpec(
+            name="Q8",
+            tables=(
+                _T("part", "p", selectivity=0.0013, column_fraction=0.3),
+                _T("lineitem", "l", column_fraction=0.35),
+                _T("orders", "o", selectivity=0.305, column_fraction=0.25),
+                _T("customer", "c", column_fraction=0.2),
+                _T("supplier", "s", column_fraction=0.3),
+                _T("nation", "n1", selectivity=0.2),
+                _T("nation", "n2"),
+                _T("region", "r", selectivity=0.2),
+            ),
+            joins=(
+                _J("l", "p", key_side="p"),
+                _J("l", "s", key_side="s"),
+                _J("l", "o", key_side="o"),
+                _J("o", "c", key_side="c"),
+                _J("c", "n1", key_side="n1"),
+                _J("n1", "r", key_side="r"),
+                _J("s", "n2", key_side="n2"),
+            ),
+            group_rows=2,
+            sort_rows=2,
+        ),
+        9: QuerySpec(
+            name="Q9",
+            tables=(
+                _T("part", "p", selectivity=0.055, column_fraction=0.25),
+                _T("lineitem", "l", column_fraction=0.45),
+                _T("supplier", "s", column_fraction=0.3),
+                _T("partsupp", "ps", column_fraction=0.4),
+                _T("orders", "o", column_fraction=0.2),
+                _T("nation", "n"),
+            ),
+            joins=(
+                _J("l", "p", key_side="p"),
+                _J("l", "s", key_side="s"),
+                _J("l", "ps", key_side="ps"),
+                _J("l", "o", key_side="o"),
+                _J("s", "n", key_side="n"),
+            ),
+            group_rows=175,
+            sort_rows=175,
+        ),
+        10: QuerySpec(
+            name="Q10",
+            tables=(
+                _T("customer", "c", column_fraction=0.5),
+                _T("orders", "o", selectivity=0.038, column_fraction=0.3),
+                _T("lineitem", "l", selectivity=0.247, column_fraction=0.3),
+                _T("nation", "n"),
+            ),
+            joins=(
+                _J("o", "c", key_side="c"),
+                _J("l", "o", key_side="o"),
+                _J("c", "n", key_side="n"),
+            ),
+            group_rows=3_800.0 * sf,
+            sort_rows=3_800.0 * sf,
+            top=20,
+        ),
+        11: QuerySpec(
+            name="Q11",
+            tables=(
+                _T("partsupp", "ps", column_fraction=0.5),
+                _T("supplier", "s", column_fraction=0.3),
+                _T("nation", "n", selectivity=0.04),
+            ),
+            joins=(_J("ps", "s", key_side="s"), _J("s", "n", key_side="n")),
+            group_rows=30_000.0 * sf,
+            sort_rows=3_000.0 * sf,
+            correlated_passes=1.5,  # the HAVING threshold subquery
+        ),
+        12: QuerySpec(
+            name="Q12",
+            tables=(
+                _T("orders", "o", column_fraction=0.2),
+                _T("lineitem", "l", selectivity=0.0052, column_fraction=0.35),
+            ),
+            joins=(_J("l", "o", key_side="o"),),
+            group_rows=2,
+            sort_rows=2,
+        ),
+        13: QuerySpec(
+            name="Q13",
+            tables=(
+                _T("customer", "c", column_fraction=0.15),
+                _T("orders", "o", selectivity=0.98, column_fraction=0.25),
+            ),
+            joins=(_J("o", "c", key_side="c", kind=JoinKind.OUTER),),
+            group_rows=42,
+            sort_rows=42,
+        ),
+        14: QuerySpec(
+            name="Q14",
+            tables=(
+                _T("lineitem", "l", selectivity=0.0076, column_fraction=0.3),
+                _T("part", "p", column_fraction=0.25),
+            ),
+            joins=(_J("l", "p", key_side="p"),),
+            group_rows=1,
+        ),
+        15: QuerySpec(
+            name="Q15",
+            tables=(
+                _T("lineitem", "l", selectivity=0.019, column_fraction=0.3),
+                _T("supplier", "s", column_fraction=0.4),
+            ),
+            joins=(_J("l", "s", key_side="s"),),
+            group_rows=10_000.0 * sf,
+            sort_rows=1,
+            correlated_passes=1.6,  # the max-revenue view is evaluated twice
+        ),
+        16: QuerySpec(
+            name="Q16",
+            tables=(
+                _T("partsupp", "ps", column_fraction=0.4),
+                _T("part", "p", selectivity=0.083, column_fraction=0.35),
+                _T("supplier", "s", selectivity=0.0005, column_fraction=0.3),
+            ),
+            joins=(
+                _J("ps", "p", key_side="p"),
+                _J("ps", "s", key_side="s", kind=JoinKind.ANTI, preserved="ps"),
+            ),
+            group_rows=120_000.0 * sf,
+            sort_rows=18_000.0 * sf,
+            optimizer_cost_scale=2.0,  # distinct-count agg overestimated
+        ),
+        17: QuerySpec(
+            name="Q17",
+            tables=(
+                _T("lineitem", "l", column_fraction=0.25),
+                _T("part", "p", selectivity=0.001, column_fraction=0.3),
+            ),
+            joins=(_J("l", "p", key_side="p"),),
+            group_rows=1,
+            correlated_passes=2.0,  # per-part average subquery
+        ),
+        18: QuerySpec(
+            name="Q18",
+            tables=(
+                _T("customer", "c", column_fraction=0.2),
+                _T("orders", "o", column_fraction=0.3),
+                _T("lineitem", "l", column_fraction=0.2),
+            ),
+            joins=(_J("l", "o", key_side="o"), _J("o", "c", key_side="c")),
+            # The infamous group-by-orderkey over all of lineitem.
+            group_rows=1_500_000.0 * sf,
+            sort_rows=100,
+            top=100,
+        ),
+        19: QuerySpec(
+            name="Q19",
+            tables=(
+                _T("lineitem", "l", selectivity=0.002, column_fraction=0.4),
+                _T("part", "p", selectivity=0.001, column_fraction=0.35),
+            ),
+            joins=(_J("l", "p", key_side="p"),),
+            group_rows=1,
+            optimizer_cost_scale=3.0,  # complex OR predicates overestimated
+        ),
+        20: QuerySpec(
+            name="Q20",
+            tables=(
+                _T("part", "p", selectivity=0.011, column_fraction=0.15),
+                _T("partsupp", "ps", column_fraction=0.3),
+                _T("lineitem", "l", selectivity=0.155, column_fraction=0.3),
+                _T("supplier", "s", column_fraction=0.5),
+                _T("nation", "n", selectivity=0.04),
+            ),
+            joins=(
+                _J("ps", "p", key_side="p", kind=JoinKind.SEMI, preserved="ps"),
+                _J("ps", "l", key_side="ps", kind=JoinKind.SEMI, preserved="ps",
+                   fanout=0.5),
+                _J("s", "ps", key_side="s", kind=JoinKind.SEMI, preserved="s",
+                   fanout=0.25),
+                _J("s", "n", key_side="n"),
+            ),
+            group_rows=0,
+            sort_rows=max(1.0, 100.0 * sf),
+            optimizer_cost_scale=0.22,  # nested IN chains underestimated
+        ),
+        21: QuerySpec(
+            name="Q21",
+            tables=(
+                _T("supplier", "s", column_fraction=0.4),
+                _T("lineitem", "l1", selectivity=0.5, column_fraction=0.3),
+                _T("orders", "o", selectivity=0.486, column_fraction=0.2),
+                _T("nation", "n", selectivity=0.04),
+                _T("lineitem", "l2", column_fraction=0.15),
+                _T("lineitem", "l3", selectivity=0.5, column_fraction=0.2),
+            ),
+            joins=(
+                _J("l1", "s", key_side="s"),
+                _J("l1", "o", key_side="o"),
+                _J("s", "n", key_side="n"),
+                _J("l1", "l2", key_side="l2", kind=JoinKind.SEMI, preserved="l1",
+                   fanout=4.0, wide_build=True),
+                _J("l1", "l3", key_side="l3", kind=JoinKind.ANTI, preserved="l1",
+                   fanout=0.3, wide_build=True),
+            ),
+            group_rows=400.0 * sf,
+            sort_rows=400.0 * sf,
+            top=100,
+        ),
+        22: QuerySpec(
+            name="Q22",
+            tables=(
+                _T("customer", "c", selectivity=0.02, column_fraction=0.25),
+                _T("orders", "o", column_fraction=0.1),
+            ),
+            joins=(
+                _J("c", "o", key_side="c", kind=JoinKind.ANTI, preserved="c",
+                   fanout=0.067),
+            ),
+            group_rows=7,
+            sort_rows=7,
+            correlated_passes=1.4,  # average-balance subquery
+        ),
+    }
+
+
+_SPEC_CACHE: Dict[int, Dict[int, QuerySpec]] = {}
+
+
+def tpch_query(number: int, scale_factor: int) -> QuerySpec:
+    """The spec for TPC-H query *number* (1-22) at a scale factor."""
+    if not 1 <= number <= 22:
+        raise WorkloadError(f"TPC-H has queries 1..22, not {number}")
+    specs = _SPEC_CACHE.get(scale_factor)
+    if specs is None:
+        specs = _specs_for(scale_factor)
+        _SPEC_CACHE[scale_factor] = specs
+    return specs[number]
+
+
+TPCH_QUERIES = tuple(range(1, 23))
+
+
+class TpchWorkload(Workload):
+    """Concurrent TPC-H query streams (3 by default, §3)."""
+
+    primary_kind = "query"
+
+    def __init__(
+        self,
+        scale_factor: int,
+        streams: int = TPCH_QUERY_STREAMS,
+        queries: tuple = TPCH_QUERIES,
+        dop_hint: int = 0,
+    ):
+        super().__init__(scale_factor)
+        if streams < 1:
+            raise WorkloadError("need at least one query stream")
+        self.streams = streams
+        self.queries = queries
+        self.dop_hint = dop_hint
+
+    @property
+    def name(self) -> str:
+        return "tpch"
+
+    def build_database(self) -> Database:
+        return build_tpch(self.scale_factor)
+
+    def execution_characteristics(self) -> ExecutionCharacteristics:
+        return execution_profile("tpch", self.scale_factor)
+
+    def engine_parameters(self) -> Dict:
+        return {"concurrent_grant_slots": self.streams}
+
+    def spawn_clients(
+        self, engine: SqlEngine, tracker: ThroughputTracker, until: float
+    ) -> List:
+        sim = engine.machine.sim
+        rng = engine.machine.streams.get("tpch.streams")
+        procs = []
+        for stream_id in range(self.streams):
+            procs.append(
+                sim.spawn(
+                    self._stream(engine, tracker, until, stream_id, rng),
+                    name=f"tpch-stream-{stream_id}",
+                )
+            )
+        return procs
+
+    def _stream(self, engine, tracker, until, stream_id, rng) -> Generator:
+        sim = engine.machine.sim
+        while sim.now < until:
+            order = list(self.queries)
+            rng.shuffle(order)
+            for number in order:
+                if sim.now >= until:
+                    break
+                spec = tpch_query(number, self.scale_factor)
+                result = yield from engine.run_query(spec, dop_hint=self.dop_hint)
+                tracker.record("query", result.elapsed)
+                tracker.record(spec.name, result.elapsed)
+        return None

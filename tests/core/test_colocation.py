@@ -1,0 +1,122 @@
+"""Tests for co-located tenants with partitioned CPU/LLC and shared SSD."""
+
+import pytest
+
+from repro.core.colocation import TenantSpec, run_colocated, tenant_machine
+from repro.core.experiment import run_experiment
+from repro.core.knobs import ResourceAllocation
+from repro.errors import ConfigurationError
+from repro.hardware.machine import Machine
+from repro.units import MIB
+
+
+class TestTenantMachine:
+    def test_view_shares_simulator_and_ssd(self):
+        base = Machine()
+        view = tenant_machine(base, base.topology.paper_allocation(8), 10, 0.5)
+        assert view.sim is base.sim
+        assert view.ssd is base.ssd
+        assert view.topology is base.topology
+
+    def test_view_has_private_partitions(self):
+        base = Machine()
+        view = tenant_machine(base, base.topology.paper_allocation(8), 10, 0.5)
+        assert len(view.cpuset) == 8
+        assert len(base.cpuset) == 32           # base untouched
+        assert view.llc.allocated_bytes() == 10 * MIB
+        assert base.llc.allocated_bytes() == 40 * MIB
+        assert view.dram.capacity_bytes == base.dram.capacity_bytes // 2
+
+
+class TestRunColocated:
+    def test_two_tenants_both_progress(self):
+        results = run_colocated(
+            [
+                TenantSpec("oltp", "asdb", 2000, logical_cores=16, llc_mb=10),
+                TenantSpec("dss", "tpch", 30, logical_cores=16, llc_mb=20),
+            ],
+            duration=8.0,
+        )
+        by_name = {r.name: r for r in results}
+        assert by_name["oltp"].primary_metric > 0
+        assert by_name["dss"].primary_metric > 0
+
+    def test_partitioned_oltp_roughly_matches_standalone_slice(self):
+        """With CAT + cpuset isolation and an in-memory DSS neighbour,
+        the OLTP tenant performs close to running alone on the same
+        slice (the Heracles-style claim)."""
+        colocated = run_colocated(
+            [
+                TenantSpec("oltp", "asdb", 2000, logical_cores=16, llc_mb=10,
+                           memory_fraction=0.8),
+                TenantSpec("dss", "tpch", 10, logical_cores=16, llc_mb=30),
+            ],
+            duration=8.0,
+        )
+        oltp = next(r for r in colocated if r.name == "oltp")
+        alone = run_experiment(
+            "asdb", 2000,
+            allocation=ResourceAllocation(logical_cores=16, llc_mb=10),
+            duration=8.0,
+        )
+        assert oltp.primary_metric == pytest.approx(
+            alone.primary_metric, rel=0.25
+        )
+
+    def test_ssd_interference_is_real(self):
+        """An IO-hungry neighbour (TPC-H SF=300 scans + spills) does slow
+        a write-heavy OLTP tenant — bandwidth has no CAT (§6)."""
+        quiet = run_colocated(
+            [
+                TenantSpec("oltp", "asdb", 2000, logical_cores=16, llc_mb=10,
+                           memory_fraction=0.8),
+                TenantSpec("dss", "tpch", 10, logical_cores=16, llc_mb=30),
+            ],
+            duration=8.0,
+        )
+        noisy = run_colocated(
+            [
+                TenantSpec("oltp", "asdb", 2000, logical_cores=16, llc_mb=10,
+                           memory_fraction=0.8),
+                TenantSpec("dss", "tpch", 300, logical_cores=16, llc_mb=30,
+                           memory_fraction=0.2),
+            ],
+            duration=8.0,
+        )
+        tps_quiet = next(r for r in quiet if r.name == "oltp").primary_metric
+        tps_noisy = next(r for r in noisy if r.name == "oltp").primary_metric
+        assert tps_noisy < tps_quiet
+
+    def test_resource_overcommit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_colocated(
+                [TenantSpec("a", "asdb", 2000, logical_cores=20, llc_mb=10),
+                 TenantSpec("b", "asdb", 2000, logical_cores=20, llc_mb=10)],
+                duration=1.0,
+            )
+        with pytest.raises(ConfigurationError):
+            run_colocated(
+                [TenantSpec("a", "asdb", 2000, logical_cores=8, llc_mb=30),
+                 TenantSpec("b", "asdb", 2000, logical_cores=8, llc_mb=30)],
+                duration=1.0,
+            )
+
+    def test_empty_tenant_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_colocated([], duration=1.0)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantSpec("x", "asdb", 2000, logical_cores=0, llc_mb=10)
+        with pytest.raises(ConfigurationError):
+            TenantSpec("x", "asdb", 2000, logical_cores=4, llc_mb=10,
+                       memory_fraction=0.0)
+
+
+class TestTenantMachineLlcIsolation:
+    def test_partitions_do_not_share_warmth(self):
+        base = Machine()
+        a = tenant_machine(base, base.topology.paper_allocation(8), 10, 0.5)
+        b = tenant_machine(base, base.topology.paper_allocation(16), 20, 0.5)
+        a.llc.warm_outside_mask(0.5)
+        assert b.llc.effective_bytes() == 20 * MIB  # unaffected by a

@@ -1,0 +1,147 @@
+"""Tests for the §10 research-question extensions: predictive models,
+SLA partitioning, and admission policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.admission import compare_admission_policies
+from repro.core.models import LinearModel, ModelComparison, RooflineModel, compare_models
+from repro.core.partitioning import PartitionPlan, TenantProfile, partition_resources
+from repro.errors import ConfigurationError
+
+
+class TestLinearModel:
+    def test_exact_fit_on_linear_data(self):
+        model = LinearModel().fit([1, 2, 4], [10, 20, 40])
+        assert model.slope == pytest.approx(10.0)
+        assert model.predict(3) == pytest.approx(30.0)
+        assert model.required_resource(50) == pytest.approx(5.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearModel().fit([1], [1])
+
+
+class TestRooflineModel:
+    def test_recovers_breakpoint(self):
+        xs = [100, 200, 400, 800, 1600]
+        ys = [10, 20, 40, 40, 40]  # ceiling at 40 from x=400
+        model = RooflineModel().fit(xs, ys)
+        assert model.ceiling == pytest.approx(40.0, rel=0.05)
+        assert model.slope == pytest.approx(0.1, rel=0.05)
+        assert model.breakpoint == pytest.approx(400.0, rel=0.1)
+
+    def test_required_resource_below_roof(self):
+        model = RooflineModel(slope=0.1, ceiling=40.0)
+        assert model.required_resource(20.0) == pytest.approx(200.0)
+        assert model.required_resource(50.0) == float("inf")
+
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=30)
+    def test_prediction_never_exceeds_ceiling(self, slope, ceiling):
+        model = RooflineModel(slope=slope, ceiling=ceiling)
+        for x in (0.1, 1.0, 10.0, 1e6):
+            assert model.predict(x) <= ceiling + 1e-9
+
+
+class TestModelComparison:
+    def test_roofline_beats_linear_on_saturating_curve(self):
+        xs = [100, 200, 400, 800, 1600, 2500]
+        ys = [8, 16, 30, 38, 40, 40]
+        result = compare_models(xs, ys)
+        assert result.roofline_wins
+        assert result.roofline_rmse < result.linear_rmse
+        # The linear model overallocates for the provisioning target.
+        assert result.linear_required > result.roofline_required
+
+    def test_equal_on_truly_linear_curve(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [5.0, 10.0, 15.0]
+        result = compare_models(xs, ys, target_fraction=0.5)
+        assert result.roofline_rmse <= result.linear_rmse + 1e-9
+
+
+def _tenant(name, slo, scale=1.0):
+    core_curve = {4: 40 * scale, 8: 75 * scale, 16: 140 * scale}
+    llc_curve = {4: 0.7, 8: 0.9, 16: 1.0}
+    return TenantProfile.from_curves(name, core_curve, llc_curve, slo=slo)
+
+
+class TestPartitioning:
+    def test_two_tenants_fit(self):
+        plan = partition_resources(
+            [_tenant("a", slo=60.0), _tenant("b", slo=35.0)],
+            total_cores=32, total_llc_mb=40,
+        )
+        assert plan is not None
+        a_cores, a_llc = plan.assignments["a"]
+        b_cores, b_llc = plan.assignments["b"]
+        assert a_cores + b_cores <= 32
+        assert a_llc + b_llc <= 40
+        assert plan.spare_cores >= 0
+
+    def test_assignments_meet_slos(self):
+        tenants = [_tenant("a", slo=60.0), _tenant("b", slo=35.0)]
+        plan = partition_resources(tenants)
+        for tenant in tenants:
+            assert tenant.meets_slo(*plan.assignments[tenant.name])
+
+    def test_infeasible_returns_none(self):
+        greedy = [_tenant("a", slo=130.0), _tenant("b", slo=130.0)]
+        # Each needs ~16 cores + 16 MB; two do not fit in 20 cores.
+        assert partition_resources(greedy, total_cores=20, total_llc_mb=40) is None
+
+    def test_prefers_slack(self):
+        plan = partition_resources([_tenant("a", slo=35.0)])
+        # The cheapest SLO-meeting allocation is chosen, not the largest.
+        assert plan.assignments["a"][0] <= 8
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantProfile(name="x", performance={}, slo=1.0)
+        with pytest.raises(ConfigurationError):
+            partition_resources([_tenant("a", slo=1.0)], total_cores=0)
+
+
+class TestAdmission:
+    def test_comparison_runs_and_reports(self):
+        result = compare_admission_policies(10, streams=3, duration_scale=0.5)
+        assert result.immediate_qps > 0
+        assert result.serialized_qps > 0
+        assert result.advantage >= 0
+
+    def test_in_memory_analytics_favors_concurrency(self):
+        """At SF=10 (CPU-bound, short queries) admitting streams
+        immediately wins: concurrent serial-plan queries fill cores that
+        a single stream would leave idle."""
+        result = compare_admission_policies(10, streams=3, duration_scale=1.0)
+        assert result.immediate_wins
+
+
+class TestSensitivityModule:
+    def test_index_bounds(self):
+        from repro.core.sensitivity import sensitivity_index
+        assert sensitivity_index(100.0, 100.0) == 0.0
+        assert sensitivity_index(100.0, 25.0) == 0.75
+        assert sensitivity_index(100.0, 150.0) == 0.0   # improvements clamp
+        assert sensitivity_index(0.0, 10.0) == 0.0
+
+    def test_small_matrix_runs(self):
+        from repro.core.sensitivity import (
+            RESOURCES,
+            sensitivity_matrix,
+            spectrum_width,
+        )
+        rows = sensitivity_matrix(
+            matrix=(("asdb", 2000), ("tpch", 10)), duration_scale=0.2,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row.indices) == set(RESOURCES)
+            assert all(0.0 <= v <= 1.0 for v in row.indices.values())
+            assert row.most_sensitive() in RESOURCES
+        spread = spectrum_width(rows)
+        assert set(spread) == set(RESOURCES)

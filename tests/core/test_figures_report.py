@@ -1,0 +1,89 @@
+"""Tests for the figure regenerators (fast configurations) and report
+formatting."""
+
+import pytest
+
+from repro.core.figures import (
+    Table2Row,
+    fig2_cores,
+    fig2_llc,
+    fig7_q20_plans,
+    q20_memory_vs_dop,
+    table2,
+)
+from repro.core.report import format_series, format_table, sparkline
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_title_and_specials(self):
+        text = format_table(
+            ["x"], [[None], [True], [float("nan")], [float("inf")]],
+            title="T",
+        )
+        assert text.startswith("T")
+        assert "-" in text and "yes" in text and "nan" in text and "inf" in text
+
+    def test_format_series(self):
+        text = format_series("x", [1.0, 2.0], {"y": [10.0, 20.0]})
+        assert "x" in text and "y" in text
+        assert "10.00" in text
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "@"
+        assert sparkline([]) == ""
+
+
+class TestTable2:
+    def test_rows_cover_study_matrix(self):
+        rows = table2()
+        assert len(rows) == 10
+        assert all(isinstance(r, Table2Row) for r in rows)
+
+    def test_values_match_paper(self):
+        for row in table2():
+            assert row.data_gb == pytest.approx(row.paper_data_gb, rel=0.02)
+
+    def test_shading(self):
+        shaded = {
+            (r.workload, r.scale_factor) for r in table2() if not r.fits_in_memory
+        }
+        assert ("tpch", 300) in shaded
+        assert ("asdb", 6000) in shaded
+        assert ("tpch", 10) not in shaded
+
+
+class TestSweepFigures:
+    def test_fig2_cores_small(self):
+        series = fig2_cores("asdb", 2000, cores=(4, 16), duration_scale=0.2)
+        assert series.xs == [4.0, 16.0]
+        assert series.performance[1] > series.performance[0]
+
+    def test_fig2_llc_small(self):
+        series = fig2_llc("asdb", 2000, sizes_mb=(2, 40), duration_scale=0.2)
+        assert series.mpki[0] > series.mpki[1]
+        assert series.performance[1] > series.performance[0]
+
+
+class TestFig7:
+    def test_q20_plan_artifacts(self):
+        result = fig7_q20_plans(300)
+        assert "-->" in result.serial_plan_text
+        assert "<=>" in result.parallel_plan_text
+        assert result.serial_uses_hash_for_part
+        assert result.parallel_uses_nlj_for_part
+        assert "same shape: False" in result.diff_summary
+
+
+class TestQ20Memory:
+    def test_serial_less_than_parallel(self):
+        serial, parallel = q20_memory_vs_dop(100)
+        assert serial < parallel

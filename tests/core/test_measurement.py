@@ -1,0 +1,70 @@
+"""Tests for the Measurement container and counter series derivations."""
+
+import pytest
+
+from repro.core.knobs import ResourceAllocation
+from repro.core.measurement import Measurement
+from repro.engine.locks import WaitType
+from repro.hardware.counters import (
+    CounterSeries,
+    DRAM_READ_BYTES,
+    INSTRUCTIONS,
+    LLC_MISSES,
+    SSD_READ_BYTES,
+)
+from repro.workloads.base import ThroughputTracker
+
+
+def make_measurement():
+    counters = CounterSeries()
+    for _ in range(5):
+        counters.append(INSTRUCTIONS, 1e9)
+        counters.append(LLC_MISSES, 5e6)
+        counters.append(DRAM_READ_BYTES, 320e6)
+        counters.append(SSD_READ_BYTES, 100e6)
+    tracker = ThroughputTracker()
+    for latency in (0.01, 0.02, 0.03):
+        tracker.record("txn", latency)
+    return Measurement(
+        workload="asdb",
+        scale_factor=2000,
+        allocation=ResourceAllocation(),
+        duration=5.0,
+        primary_metric=1000.0,
+        counters=counters,
+        tracker=tracker,
+        wait_times={w: 0.0 for w in WaitType} | {WaitType.LOCK: 2.0,
+                                                 WaitType.PAGELATCH: 1.0},
+    )
+
+
+class TestMeasurement:
+    def test_mpki_from_counters(self):
+        m = make_measurement()
+        assert m.mpki == pytest.approx(5.0)
+
+    def test_bandwidth_means(self):
+        m = make_measurement()
+        assert m.ssd_read_mb == pytest.approx(100.0)
+        assert m.dram_read_mb == pytest.approx(320.0)
+
+    def test_bandwidth_cdf(self):
+        m = make_measurement()
+        cdf = m.bandwidth_cdf(SSD_READ_BYTES)
+        assert len(cdf) == 5
+        assert cdf.percentile(100) == pytest.approx(100e6)
+
+    def test_wait_accessors(self):
+        m = make_measurement()
+        assert m.wait_time(WaitType.LOCK) == 2.0
+        assert m.lock_latch_pagelatch_total() == pytest.approx(3.0)
+
+    def test_latency_accessors(self):
+        m = make_measurement()
+        assert m.query_latency("txn", 50) == pytest.approx(0.02)
+        assert m.mean_query_latency("txn") == pytest.approx(0.02)
+        # Unknown classes yield NaN rather than raising.
+        assert m.mean_query_latency("nope") != m.mean_query_latency("nope")
+
+    def test_counter_series_mean_mpki_empty(self):
+        assert CounterSeries().mean_mpki() == 0.0

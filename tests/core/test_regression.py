@@ -1,0 +1,99 @@
+"""Tests for the measurement regression/compare utility."""
+
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.core.regression import (
+    ObservableDiff,
+    compare_measurements,
+    compare_studies,
+    load_study,
+    save_study,
+    snapshot,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSnapshot:
+    def test_snapshot_observables(self):
+        m = run_experiment("asdb", 2000, duration=3.0)
+        data = snapshot(m)
+        assert data["primary_metric"] == m.primary_metric
+        assert "wait_LOCK" in data
+        assert "mpki_model" in data
+
+    def test_identical_runs_produce_identical_snapshots(self):
+        a = snapshot(run_experiment("asdb", 2000, duration=3.0, seed=4))
+        b = snapshot(run_experiment("asdb", 2000, duration=3.0, seed=4))
+        assert compare_measurements(a, b, tolerance=0.001) == []
+
+
+class TestCompare:
+    def test_change_beyond_tolerance_flagged(self):
+        diffs = compare_measurements(
+            {"tps": 100.0}, {"tps": 80.0}, tolerance=0.1
+        )
+        assert len(diffs) == 1
+        assert diffs[0].relative_change == pytest.approx(-0.2)
+
+    def test_change_within_tolerance_ignored(self):
+        assert compare_measurements(
+            {"tps": 100.0}, {"tps": 95.0}, tolerance=0.1
+        ) == []
+
+    def test_tiny_absolute_values_skipped(self):
+        assert compare_measurements(
+            {"wait": 1e-9}, {"wait": 5e-9}, tolerance=0.1
+        ) == []
+
+    def test_missing_observable_counts_as_zero(self):
+        diffs = compare_measurements({"x": 1.0}, {}, tolerance=0.1)
+        assert diffs[0].candidate == 0.0
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            compare_measurements({}, {}, tolerance=0.0)
+
+
+class TestStudyComparison:
+    def test_clean_comparison(self):
+        study = {"asdb/2000": {"tps": 100.0}}
+        result = compare_studies(study, {"asdb/2000": {"tps": 101.0}})
+        assert result.clean
+        assert "no changes" in result.summary()
+
+    def test_regression_reported(self):
+        result = compare_studies(
+            {"a": {"tps": 100.0}}, {"a": {"tps": 50.0}},
+        )
+        assert not result.clean
+        assert "a" in result.regressions
+        assert "-50.0%" in result.summary()
+
+    def test_missing_and_new_keys(self):
+        result = compare_studies(
+            {"a": {"x": 1.0}, "b": {"x": 1.0}},
+            {"a": {"x": 1.0}, "c": {"x": 1.0}},
+        )
+        assert result.missing_keys == ["b"]
+        assert result.new_keys == ["c"]
+        assert not result.clean
+
+    def test_round_trip_persistence(self, tmp_path):
+        study = {"asdb/2000": {"tps": 123.4, "mpki": 15.0}}
+        path = tmp_path / "baseline.json"
+        save_study(str(path), study)
+        assert load_study(str(path)) == study
+
+    def test_end_to_end_baseline_workflow(self, tmp_path):
+        baseline = {
+            "asdb/2000": snapshot(run_experiment("asdb", 2000, duration=3.0)),
+        }
+        path = tmp_path / "study.json"
+        save_study(str(path), baseline)
+        candidate = {
+            "asdb/2000": snapshot(run_experiment("asdb", 2000, duration=3.0)),
+        }
+        result = compare_studies(load_study(str(path)), candidate,
+                                 tolerance=0.05)
+        assert result.clean, result.summary()

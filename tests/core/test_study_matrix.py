@@ -1,0 +1,46 @@
+"""Smoke coverage of the full study matrix (§9 pitfall #1: never study a
+single workload class or scale factor)."""
+
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.core.sweeps import STUDY_MATRIX
+from repro.hardware.counters import ALL_COUNTERS
+
+SHORT = {
+    "tpch": 120.0,
+    "asdb": 4.0,
+    "tpce": 6.0,
+    "htap": 6.0,
+}
+# Large analytical scale factors need longer windows for any completions.
+SHORT_OVERRIDES = {("tpch", 100): 500.0, ("tpch", 300): 1200.0}
+
+
+@pytest.mark.parametrize("workload,sf", STUDY_MATRIX)
+def test_study_matrix_runs(workload, sf):
+    duration = SHORT_OVERRIDES.get((workload, sf), SHORT[workload])
+    m = run_experiment(workload, sf, duration=duration)
+    assert m.primary_metric > 0, (workload, sf)
+    # Counter sanity: every canonical counter sampled, no negative rates.
+    for counter in ALL_COUNTERS:
+        series = m.counters.series(counter)
+        assert len(series) >= 2, counter
+        assert all(v >= -1e-6 for v in series), (counter, min(series))
+    # Interval rates never exceed physical device caps.
+    for value in m.counters.series("ssd_read_bytes"):
+        assert value <= 2500e6 * 1.05
+    for value in m.counters.series("ssd_write_bytes"):
+        assert value <= 1200e6 * 1.05
+    assert m.mpki_model > 0
+    assert 0.5 <= m.smt_multiplier <= 1.25
+
+
+def test_workload_classes_have_distinct_signatures():
+    """The paper's point: classes differ; a study of one is misleading."""
+    oltp = run_experiment("asdb", 2000, duration=4.0)
+    dss = run_experiment("tpch", 10, duration=120.0)
+    # Transactional: significant writes (logging); analytical: none.
+    assert oltp.ssd_write_mb > 10 * max(0.01, dss.ssd_write_mb)
+    # Analytical MPKI and OLTP MPKI levels differ markedly.
+    assert abs(oltp.mpki_model - dss.mpki_model) > 2.0

@@ -1,0 +1,149 @@
+"""Tests for the buffer pool model and the group-commit WAL."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.catalog import Database, Table
+from repro.engine.types import WorkloadClass
+from repro.engine.wal import WriteAheadLog
+from repro.errors import ConfigurationError
+from repro.hardware.storage import NvmeDevice
+from repro.sim.process import Simulator, Timeout
+from repro.units import GIB, KIB, mb_per_s
+
+
+def make_db(total_gb: float, hot_fraction: float = 0.1) -> Database:
+    db = Database(name="db", scale_factor=1, workload_class=WorkloadClass.OLTP)
+    db.add_table(
+        Table(name="big", rows=1_000_000, row_bytes=total_gb * GIB / 1_000_000,
+              hot_fraction=hot_fraction)
+    )
+    return db
+
+
+class TestBufferPool:
+    def test_capacity_is_engine_share_minus_grants(self):
+        pool = BufferPool(make_db(10), server_memory_bytes=64 * GIB,
+                          reserved_grant_bytes=10 * GIB)
+        assert pool.capacity_bytes == pytest.approx(64 * GIB * 0.8 - 10 * GIB)
+
+    def test_fitting_database_is_fully_resident(self):
+        pool = BufferPool(make_db(10), server_memory_bytes=64 * GIB)
+        assert pool.resident_fraction() == 1.0
+        assert pool.scan_read_bytes(pool.database.table("big")) == 0.0
+
+    def test_oversized_database_partially_resident(self):
+        pool = BufferPool(make_db(100), server_memory_bytes=64 * GIB)
+        assert 0.0 < pool.resident_fraction() < 1.0
+        assert pool.scan_read_bytes(pool.database.table("big")) > 0.0
+
+    def test_point_hit_capped_below_one(self):
+        pool = BufferPool(make_db(1), server_memory_bytes=64 * GIB)
+        assert pool.point_hit_probability(pool.database.table("big")) <= \
+            BufferPool.MAX_POINT_HIT
+
+    def test_point_hit_degrades_when_data_overflows(self):
+        small = BufferPool(make_db(10), server_memory_bytes=64 * GIB)
+        large = BufferPool(make_db(200), server_memory_bytes=64 * GIB)
+        table_s = small.database.table("big")
+        table_l = large.database.table("big")
+        assert large.point_hit_probability(table_l) < small.point_hit_probability(table_s)
+
+    def test_reserved_grants_shrink_residency(self):
+        """The §8 coupling: bigger grants => less buffer pool => more IO."""
+        db = make_db(45)
+        no_grants = BufferPool(db, server_memory_bytes=64 * GIB)
+        grants = BufferPool(db, server_memory_bytes=64 * GIB,
+                            reserved_grant_bytes=30 * GIB)
+        assert grants.resident_fraction() < no_grants.resident_fraction()
+
+    def test_bad_scan_fraction_rejected(self):
+        pool = BufferPool(make_db(1), server_memory_bytes=64 * GIB)
+        with pytest.raises(ConfigurationError):
+            pool.scan_read_bytes(pool.database.table("big"), scanned_fraction=1.5)
+
+
+class TestWriteAheadLog:
+    def _setup(self, write_bw=mb_per_s(1200)):
+        sim = Simulator()
+        device = NvmeDevice(sim, write_bw=write_bw)
+        wal = WriteAheadLog(sim, device)
+        return sim, device, wal
+
+    def test_single_commit_waits_for_flush(self):
+        sim, device, wal = self._setup()
+        def committer():
+            yield from wal.commit(4 * KIB)
+            return sim.now
+        proc = sim.spawn(committer())
+        sim.run()
+        # Flushed by the 1 ms timer, not instantly.
+        assert proc.result >= wal.flush_interval
+        assert wal.total_flushes == 1
+
+    def test_group_commit_batches_concurrent_commits(self):
+        sim, device, wal = self._setup()
+        results = []
+        def committer():
+            yield from wal.commit(2 * KIB)
+            results.append(sim.now)
+        for _ in range(10):
+            sim.spawn(committer())
+        sim.run()
+        assert len(results) == 10
+        # All ten commits harden with a single flush.
+        assert wal.total_flushes == 1
+
+    def test_full_batch_flushes_early(self):
+        sim, device, wal = self._setup()
+        done = []
+        def committer():
+            yield from wal.commit(wal.batch_bytes)
+            done.append(sim.now)
+        sim.spawn(committer())
+        sim.run()
+        assert done[0] < wal.flush_interval
+
+    def test_low_write_bandwidth_stretches_commit_latency(self):
+        fast = self._setup(write_bw=mb_per_s(1200))
+        slow = self._setup(write_bw=mb_per_s(1))
+        latencies = {}
+        for name, (sim, device, wal) in (("fast", fast), ("slow", slow)):
+            def committer(w=wal, s=sim):
+                yield from w.commit(256 * KIB)
+                return s.now
+            proc = sim.spawn(committer())
+            sim.run()
+            latencies[name] = proc.result
+        assert latencies["slow"] > 10 * latencies["fast"]
+
+    def test_log_accounting(self):
+        sim, device, wal = self._setup()
+        def committer():
+            yield from wal.commit(3 * KIB)
+            yield from wal.commit(5 * KIB)
+        sim.spawn(committer())
+        sim.run()
+        assert wal.total_log_bytes == 8 * KIB
+
+    def test_backlogged_commits_flush_in_series(self):
+        sim, device, wal = self._setup(write_bw=mb_per_s(10))
+        done = []
+        def committer(i):
+            yield Timeout(i * 0.0001)
+            yield from wal.commit(128 * KIB)
+            done.append(sim.now)
+        for i in range(5):
+            sim.spawn(committer(i))
+        sim.run()
+        assert len(done) == 5
+        assert wal.total_flushes >= 2
+
+    def test_bad_parameters_rejected(self):
+        sim = Simulator()
+        device = NvmeDevice(sim)
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(sim, device, batch_bytes=0)
+        wal = WriteAheadLog(sim, device)
+        with pytest.raises(ConfigurationError):
+            next(wal.commit(-1.0))

@@ -1,0 +1,59 @@
+"""Tests for the DP join-ordering search strategy."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.optimizer.optimizer import Optimizer, PlanningContext
+from repro.engine.plan.validation import assert_valid
+from repro.engine.schemas import build_tpch
+from repro.errors import PlanningError
+from repro.units import GIB
+from repro.workloads.tpch import TPCH_QUERIES, tpch_query
+
+
+def optimizer_for(strategy, sf=100, max_dop=32):
+    db = build_tpch(sf)
+    pool = BufferPool(db, server_memory_bytes=64 * GIB)
+    return Optimizer(PlanningContext(
+        database=db, buffer_pool=pool, max_dop=max_dop,
+        search_strategy=strategy,
+    ))
+
+
+class TestDpSearch:
+    def test_dp_never_worse_than_greedy(self):
+        greedy = optimizer_for("greedy")
+        dp = optimizer_for("dp")
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, 100)
+            g = greedy.optimize(spec)
+            d = dp.optimize(spec)
+            assert d.estimated_elapsed_cost <= g.estimated_elapsed_cost * 1.0001, \
+                (number, d.estimated_elapsed_cost, g.estimated_elapsed_cost)
+
+    def test_dp_plans_are_valid(self):
+        dp = optimizer_for("dp")
+        for number in (3, 8, 9, 20, 21):
+            optimized = dp.optimize(tpch_query(number, 100))
+            assert_valid(optimized.plan)
+            assert set(optimized.plan.tables_touched()) == {
+                ref.alias for ref in optimized.spec.tables
+            }
+
+    def test_dp_serial_choices_preserved(self):
+        """The cost-threshold decision is search-strategy independent for
+        the §7 insensitive queries (their serial plans are already
+        optimal under both searches)."""
+        dp = optimizer_for("dp", sf=10)
+        for number in (2, 6, 14, 15, 20):
+            assert dp.optimize(tpch_query(number, 10)).dop == 1, number
+
+    def test_unknown_strategy_rejected(self):
+        bad = optimizer_for("simulated-annealing")
+        with pytest.raises(PlanningError):
+            bad.optimize(tpch_query(1, 100))
+
+    def test_single_table_query(self):
+        dp = optimizer_for("dp")
+        optimized = dp.optimize(tpch_query(1, 100))
+        assert optimized.plan.join_count() == 0

@@ -1,0 +1,105 @@
+"""Tests for demand derivation and optimizer scaling invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.knobs import ResourceAllocation
+from repro.engine.engine import SqlEngine
+from repro.engine.memory_grants import MemoryGrant
+from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.schemas import build_tpch
+from repro.hardware.machine import Machine
+from repro.workloads.profiles import execution_profile
+from repro.workloads.tpch import TPCH_QUERIES, tpch_query
+
+
+def make_engine(sf=10, grant_slots=0):
+    machine = Machine()
+    ResourceAllocation().apply_to(machine)
+    return SqlEngine(
+        machine, build_tpch(sf), execution_profile("tpch", sf),
+        governor=ResourceGovernor(max_dop=32),
+        concurrent_grant_slots=grant_slots,
+    )
+
+
+class TestDemandDerivation:
+    def test_in_memory_query_has_no_scan_io(self):
+        engine = make_engine(sf=10)
+        optimized = engine.optimize(tpch_query(1, 10))
+        demand = engine.executor.demand_for_query(
+            optimized, engine.admit(optimized)
+        )
+        assert demand.seq_read_bytes == 0.0
+        assert demand.instructions > 0
+
+    def test_oversized_database_scans_cold_bytes(self):
+        engine = make_engine(sf=300)
+        optimized = engine.optimize(tpch_query(1, 300))
+        demand = engine.executor.demand_for_query(
+            optimized, engine.admit(optimized)
+        )
+        assert demand.seq_read_bytes > 0
+
+    def test_grant_reservation_creates_io(self):
+        """§8/§9 coupling: reserving 3 stream grants pushes TPC-H SF=100
+        out of memory."""
+        resident = make_engine(sf=100, grant_slots=0)
+        squeezed = make_engine(sf=100, grant_slots=3)
+        def scan_bytes(engine):
+            optimized = engine.optimize(tpch_query(1, 100))
+            return engine.executor.demand_for_query(
+                optimized, engine.admit(optimized)
+            ).seq_read_bytes
+        assert scan_bytes(squeezed) > scan_bytes(resident)
+
+    def test_spill_bytes_flow_from_grant(self):
+        engine = make_engine(sf=100)
+        optimized = engine.optimize(tpch_query(18, 100))
+        grant = engine.admit(optimized)
+        assert grant.spills
+        demand = engine.executor.demand_for_query(optimized, grant)
+        assert demand.spill_write_bytes == pytest.approx(grant.spill_write_bytes)
+        assert demand.spill_read_bytes == pytest.approx(grant.spill_read_bytes)
+
+    def test_correlated_passes_multiply_io_and_cpu(self):
+        engine = make_engine(sf=300)
+        spec = tpch_query(17, 300)  # correlated_passes = 2.0
+        optimized = engine.optimize(spec)
+        grant = MemoryGrant(required_bytes=0.0, granted_bytes=0.0)
+        demand = engine.executor.demand_for_query(optimized, grant)
+        single_pass_cpu = (
+            optimized.plan.total_cpu_cost() * 1000  # cost units -> instr
+        )
+        assert demand.instructions == pytest.approx(
+            single_pass_cpu * spec.correlated_passes, rel=0.01
+        )
+
+
+class TestOptimizerScalingInvariants:
+    @pytest.mark.parametrize("number", [1, 3, 6, 9, 18, 20])
+    def test_cost_grows_with_scale_factor(self, number):
+        small = make_engine(sf=10)
+        large = make_engine(sf=100)
+        cost_small = small.optimize(tpch_query(number, 10)).plan.total_cpu_cost()
+        cost_large = large.optimize(tpch_query(number, 100)).plan.total_cpu_cost()
+        assert cost_large > cost_small
+
+    def test_all_queries_planable_at_all_scale_factors(self):
+        for sf in (10, 30, 100, 300):
+            engine = make_engine(sf=sf)
+            for number in TPCH_QUERIES:
+                optimized = engine.optimize(tpch_query(number, sf))
+                assert optimized.plan.operator_count() >= 1
+                assert optimized.required_memory_bytes >= 0
+                assert optimized.estimated_elapsed_cost > 0
+
+    @given(st.sampled_from([1, 3, 6, 18]), st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_memory_monotone_in_dop(self, number, dop):
+        engine = make_engine(sf=100)
+        spec = tpch_query(number, 100)
+        low = engine.optimizer.optimize(spec, max_dop=max(1, dop // 2))
+        high = engine.optimizer.optimize(spec, max_dop=dop)
+        if low.plan.signature() == high.plan.signature():
+            assert high.required_memory_bytes >= low.required_memory_bytes - 1e-6

@@ -1,0 +1,125 @@
+"""Tests for the lock/latch manager and wait accounting."""
+
+import pytest
+
+from repro.engine.locks import HotSlotArray, LockManager, WaitAccounting, WaitType
+from repro.errors import ConfigurationError
+from repro.sim.process import Simulator, Timeout
+
+
+class TestWaitAccounting:
+    def test_charge_and_totals(self):
+        acct = WaitAccounting()
+        acct.charge(WaitType.LOCK, 1.0)
+        acct.charge(WaitType.PAGELATCH, 0.5)
+        acct.charge(WaitType.LATCH, 0.25)
+        acct.charge(WaitType.PAGEIOLATCH, 9.0)
+        assert acct.lock_latch_pagelatch_total() == pytest.approx(1.75)
+        assert acct.wait_count[WaitType.LOCK] == 1
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaitAccounting().charge(WaitType.LOCK, -1.0)
+
+
+class TestHotSlotArray:
+    def test_same_slot_serializes(self):
+        sim = Simulator()
+        array = HotSlotArray(sim, num_slots=4, name="locks")
+        times = []
+        def worker():
+            yield from array.acquire(0)
+            yield Timeout(1.0)
+            array.release(0)
+            times.append(sim.now)
+        sim.spawn(worker())
+        sim.spawn(worker())
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_different_slots_concurrent(self):
+        sim = Simulator()
+        array = HotSlotArray(sim, num_slots=4, name="locks")
+        times = []
+        def worker(slot):
+            yield from array.acquire(slot)
+            yield Timeout(1.0)
+            array.release(slot)
+            times.append(sim.now)
+        sim.spawn(worker(0))
+        sim.spawn(worker(1))
+        sim.run()
+        assert times == [1.0, 1.0]
+
+    def test_slot_index_wraps(self):
+        sim = Simulator()
+        array = HotSlotArray(sim, num_slots=3, name="locks")
+        def worker():
+            yield from array.acquire(7)  # 7 % 3 == slot 1
+            array.release(7)
+        sim.spawn(worker())
+        sim.run()
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotSlotArray(Simulator(), num_slots=0, name="x")
+
+
+class TestLockManager:
+    def test_critical_section_accounts_queueing_only(self):
+        sim = Simulator()
+        manager = LockManager(sim, hot_rows=2, hot_pages=2)
+        def worker():
+            yield from manager.critical_section(WaitType.LOCK, 0, hold_seconds=1.0)
+        sim.spawn(worker())
+        sim.spawn(worker())
+        sim.run()
+        # Second worker queued exactly one hold period; the first none.
+        assert manager.accounting.wait_time[WaitType.LOCK] == pytest.approx(1.0)
+
+    def test_acquire_release_spans_arbitrary_work(self):
+        sim = Simulator()
+        manager = LockManager(sim, hot_rows=2, hot_pages=2)
+        order = []
+        def holder():
+            yield from manager.acquire(WaitType.LOCK, 0)
+            yield Timeout(2.0)  # commit work while holding
+            manager.release(WaitType.LOCK, 0)
+            order.append(("holder", sim.now))
+        def waiter():
+            yield Timeout(0.1)
+            yield from manager.acquire(WaitType.LOCK, 0)
+            manager.release(WaitType.LOCK, 0)
+            order.append(("waiter", sim.now))
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert order == [("holder", 2.0), ("waiter", 2.0)]
+        assert manager.accounting.wait_time[WaitType.LOCK] == pytest.approx(1.9)
+
+    def test_io_latch_charging(self):
+        sim = Simulator()
+        manager = LockManager(sim, hot_rows=1, hot_pages=1)
+        manager.charge_io_latch(0.5)
+        assert manager.accounting.wait_time[WaitType.PAGEIOLATCH] == 0.5
+
+    def test_pageiolatch_is_not_slot_based(self):
+        sim = Simulator()
+        manager = LockManager(sim, hot_rows=1, hot_pages=1)
+        with pytest.raises(ConfigurationError):
+            manager._array_for(WaitType.PAGEIOLATCH)
+
+    def test_more_slots_less_contention(self):
+        """The Table 3 mechanism in isolation: same load, more slots."""
+        def total_wait(num_slots):
+            sim = Simulator()
+            manager = LockManager(sim, hot_rows=num_slots, hot_pages=4)
+            def worker(i):
+                yield from manager.critical_section(
+                    WaitType.LOCK, i % num_slots, hold_seconds=1.0
+                )
+            for i in range(8):
+                sim.spawn(worker(i))
+            sim.run()
+            return manager.accounting.wait_time[WaitType.LOCK]
+        assert total_wait(8) < total_wait(2)

@@ -1,0 +1,78 @@
+"""Tests for the query-memory pool and spill model (§8)."""
+
+import pytest
+
+from repro.calibration import (
+    DEFAULT_GRANT_PERCENT,
+    ENGINE_MEMORY_FRACTION,
+    QUERY_MEMORY_POOL_FRACTION,
+)
+from repro.engine.memory_grants import (
+    MemoryGrant,
+    QueryMemoryPool,
+    SPILL_IO_AMPLIFICATION,
+)
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+class TestQueryMemoryPool:
+    def test_default_cap_matches_paper(self):
+        """§8: the default 25% grant is approx. 9.2 GB with 64 GB RAM."""
+        pool = QueryMemoryPool(server_memory_bytes=64 * GIB)
+        assert pool.per_query_cap_bytes / GIB == pytest.approx(9.2, abs=0.05)
+
+    def test_pool_fractions(self):
+        pool = QueryMemoryPool(server_memory_bytes=64 * GIB)
+        assert pool.pool_bytes == pytest.approx(
+            64 * GIB * ENGINE_MEMORY_FRACTION * QUERY_MEMORY_POOL_FRACTION
+        )
+
+    def test_grant_percent_scales_cap(self):
+        full = QueryMemoryPool(64 * GIB, grant_percent=25.0)
+        small = QueryMemoryPool(64 * GIB, grant_percent=5.0)
+        assert small.per_query_cap_bytes == pytest.approx(full.per_query_cap_bytes / 5)
+
+    def test_admit_within_cap_grants_fully(self):
+        pool = QueryMemoryPool(64 * GIB)
+        grant = pool.admit(1 * GIB)
+        assert grant.granted_bytes == 1 * GIB
+        assert not grant.spills
+
+    def test_admit_beyond_cap_spills(self):
+        pool = QueryMemoryPool(64 * GIB)
+        grant = pool.admit(20 * GIB)
+        assert grant.granted_bytes == pytest.approx(pool.per_query_cap_bytes)
+        assert grant.spills
+        assert grant.deficit_bytes == pytest.approx(20 * GIB - pool.per_query_cap_bytes)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryMemoryPool(0)
+        with pytest.raises(ConfigurationError):
+            QueryMemoryPool(64 * GIB, grant_percent=0)
+        with pytest.raises(ConfigurationError):
+            QueryMemoryPool(64 * GIB).admit(-1.0)
+
+
+class TestMemoryGrant:
+    def test_spill_io_amplification(self):
+        grant = MemoryGrant(required_bytes=10.0, granted_bytes=4.0)
+        assert grant.spill_io_bytes == pytest.approx(6.0 * SPILL_IO_AMPLIFICATION)
+        assert grant.spill_write_bytes == pytest.approx(6.0)
+        assert grant.spill_read_bytes == pytest.approx(
+            6.0 * (SPILL_IO_AMPLIFICATION - 1)
+        )
+
+    def test_no_spill_no_io(self):
+        grant = MemoryGrant(required_bytes=4.0, granted_bytes=4.0)
+        assert grant.spill_io_bytes == 0.0
+        assert grant.spill_cpu_cost == 0.0
+
+    def test_spill_cpu_scales_with_deficit(self):
+        small = MemoryGrant(required_bytes=10.0, granted_bytes=9.0)
+        big = MemoryGrant(required_bytes=10.0, granted_bytes=1.0)
+        assert big.spill_cpu_cost > small.spill_cpu_cost
+
+    def test_default_grant_percent_constant(self):
+        assert DEFAULT_GRANT_PERCENT == 25.0

@@ -1,0 +1,258 @@
+"""Tests for query specs, the cost model, and the optimizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.catalog import Database, Table
+from repro.engine.optimizer.cost_model import CostModel
+from repro.engine.optimizer.optimizer import (
+    GRANT_DOP_BASE,
+    Optimizer,
+    PlanningContext,
+    grant_dop_factor,
+)
+from repro.engine.optimizer.queryspec import JoinEdge, JoinKind, QuerySpec, TableRef
+from repro.engine.plan.operators import OpKind
+from repro.engine.types import StorageFormat, WorkloadClass
+from repro.errors import PlanningError
+from repro.units import GIB
+
+
+def star_database(fact_rows=1_000_000, dim_rows=1_000):
+    db = Database(name="star", scale_factor=1, workload_class=WorkloadClass.DSS)
+    db.add_table(Table(name="fact", rows=fact_rows, row_bytes=100.0,
+                       storage=StorageFormat.COLUMN, hot_fraction=1.0))
+    db.add_table(Table(name="dim", rows=dim_rows, row_bytes=100.0,
+                       storage=StorageFormat.COLUMN, hot_fraction=1.0))
+    db.add_table(Table(name="dim2", rows=dim_rows // 10, row_bytes=80.0,
+                       storage=StorageFormat.COLUMN, hot_fraction=1.0))
+    return db
+
+
+def make_optimizer(db=None, max_dop=32, threshold=1e4):
+    db = db or star_database()
+    pool = BufferPool(db, server_memory_bytes=64 * GIB)
+    ctx = PlanningContext(database=db, buffer_pool=pool, cost_model=CostModel(),
+                          max_dop=max_dop, parallelism_threshold=threshold)
+    return Optimizer(ctx)
+
+
+def star_query(fact_sel=1.0, dim_sel=0.1, group_rows=10.0, sort_rows=0.0):
+    return QuerySpec(
+        name="star",
+        tables=(
+            TableRef("fact", "f", selectivity=fact_sel),
+            TableRef("dim", "d", selectivity=dim_sel),
+        ),
+        joins=(JoinEdge("f", "d", key_side="d"),),
+        group_rows=group_rows,
+        sort_rows=sort_rows,
+    )
+
+
+class TestQuerySpec:
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(PlanningError):
+            QuerySpec(name="q", tables=(TableRef("fact", "f"), TableRef("dim", "f")))
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(PlanningError):
+            QuerySpec(
+                name="q",
+                tables=(TableRef("fact", "f"), TableRef("dim", "d")),
+                joins=(),
+            )
+
+    def test_edge_with_unknown_alias_rejected(self):
+        with pytest.raises(PlanningError):
+            QuerySpec(
+                name="q",
+                tables=(TableRef("fact", "f"), TableRef("dim", "d")),
+                joins=(JoinEdge("f", "x", key_side="f"),),
+            )
+
+    def test_preserved_defaults_to_nonkey_side(self):
+        edge = JoinEdge("f", "d", key_side="d", kind=JoinKind.SEMI)
+        assert edge.preserved_side == "f"
+
+    def test_explicit_preserved_side(self):
+        edge = JoinEdge("s", "ps", key_side="s", kind=JoinKind.SEMI, preserved="s")
+        assert edge.preserved_side == "s"
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(PlanningError):
+            TableRef("t", "t", selectivity=0.0)
+        with pytest.raises(PlanningError):
+            TableRef("t", "t", selectivity=1.5)
+
+
+class TestCostModel:
+    def test_columnstore_scan_cheaper_than_rowstore(self):
+        cm = CostModel()
+        assert cm.scan_cpu(1000, True, 1.0) < cm.scan_cpu(1000, False, 1.0)
+
+    def test_column_fraction_reduces_scan_cost(self):
+        cm = CostModel()
+        assert cm.scan_cpu(1000, True, 0.2) < cm.scan_cpu(1000, True, 1.0)
+
+    def test_columnstore_seek_penalized(self):
+        cm = CostModel()
+        assert cm.seek_cost(1e6, columnstore=True) == pytest.approx(
+            cm.seek_cost(1e6, columnstore=False) * cm.columnstore_seek_multiplier
+        )
+
+    def test_broadcast_grows_with_dop(self):
+        cm = CostModel()
+        assert cm.broadcast_cost(1000, 32) > cm.broadcast_cost(1000, 4)
+        assert cm.broadcast_cost(1000, 1) == 0.0
+
+    def test_sort_superlinear(self):
+        cm = CostModel()
+        assert cm.sort_cpu(2_000_000) > 2 * cm.sort_cpu(1_000_000)
+        assert cm.sort_cpu(1) == 0.0
+
+    @given(st.floats(min_value=1, max_value=1e9), st.floats(min_value=1, max_value=1e9))
+    @settings(max_examples=30)
+    def test_hash_join_cost_monotone(self, build, probe):
+        cm = CostModel()
+        assert cm.hash_join_cpu(build + 1, probe) > cm.hash_join_cpu(build, probe)
+        assert cm.hash_join_cpu(build, probe + 1) > cm.hash_join_cpu(build, probe)
+
+
+class TestGrantDopFactor:
+    def test_serial_uses_45_percent_less(self):
+        """§8: Q20 uses 45% less memory at MAXDOP=1 than at MAXDOP=32."""
+        assert grant_dop_factor(1) / grant_dop_factor(32) == pytest.approx(
+            GRANT_DOP_BASE + (1 - GRANT_DOP_BASE) / 32, rel=0.01
+        )
+        assert 1 - grant_dop_factor(1) == pytest.approx(0.45, abs=0.02)
+
+    def test_monotone_in_dop(self):
+        factors = [grant_dop_factor(d) for d in (1, 2, 4, 8, 16, 32)]
+        assert factors == sorted(factors)
+
+
+class TestOptimizer:
+    def test_cheap_query_stays_serial(self):
+        opt = make_optimizer(threshold=1e12)
+        result = opt.optimize(star_query())
+        assert result.dop == 1
+        assert not result.plan.is_parallel_plan()
+
+    def test_expensive_query_goes_parallel(self):
+        opt = make_optimizer(threshold=1.0)
+        result = opt.optimize(star_query())
+        assert result.dop == 32
+        assert result.plan.is_parallel_plan()
+        assert result.plan.uses(OpKind.EXCHANGE_GATHER)
+
+    def test_maxdop_one_forces_serial(self):
+        opt = make_optimizer(threshold=1.0)
+        result = opt.optimize(star_query(), max_dop=1)
+        assert result.dop == 1
+
+    def test_plan_covers_all_tables(self):
+        opt = make_optimizer()
+        spec = QuerySpec(
+            name="q3",
+            tables=(
+                TableRef("fact", "f"),
+                TableRef("dim", "d", selectivity=0.5),
+                TableRef("dim2", "e"),
+            ),
+            joins=(
+                JoinEdge("f", "d", key_side="d"),
+                JoinEdge("d", "e", key_side="e"),
+            ),
+        )
+        result = opt.optimize(spec)
+        assert set(result.plan.tables_touched()) >= {"f", "d", "e"}
+        assert result.plan.join_count() == 2
+
+    def test_cardinality_estimation_fk_join(self):
+        opt = make_optimizer(threshold=1e12)
+        result = opt.optimize(star_query(fact_sel=1.0, dim_sel=0.1, group_rows=0))
+        # |fact join dim_filtered| = 1e6 * 0.1
+        root_rows = result.plan.rows_out
+        assert root_rows == pytest.approx(100_000, rel=0.01)
+
+    def test_semi_join_caps_at_preserved_side(self):
+        opt = make_optimizer(threshold=1e12)
+        spec = QuerySpec(
+            name="semi",
+            tables=(TableRef("fact", "f"), TableRef("dim", "d")),
+            joins=(JoinEdge("f", "d", key_side="d", kind=JoinKind.SEMI),),
+            group_rows=0,
+        )
+        result = opt.optimize(spec)
+        assert result.plan.rows_out <= 1_000_000 + 1
+
+    def test_anti_join_complements_semi(self):
+        opt = make_optimizer(threshold=1e12)
+        def rows(kind):
+            spec = QuerySpec(
+                name="x",
+                tables=(TableRef("fact", "f"),
+                        TableRef("dim", "d", selectivity=0.5)),
+                joins=(JoinEdge("f", "d", key_side="d", kind=kind),),
+                group_rows=0,
+            )
+            return opt.optimize(spec).plan.rows_out
+        assert rows(JoinKind.SEMI) + rows(JoinKind.ANTI) == pytest.approx(1_000_000)
+
+    def test_memory_scales_with_dop(self):
+        opt = make_optimizer()
+        spec = star_query(group_rows=500_000.0)
+        serial = opt.optimize(spec, max_dop=1)
+        parallel = make_optimizer(threshold=1.0).optimize(spec, max_dop=32)
+        assert serial.required_memory_bytes < parallel.required_memory_bytes
+
+    def test_aggregate_and_sort_appended(self):
+        opt = make_optimizer(threshold=1e12)
+        result = opt.optimize(star_query(group_rows=50.0, sort_rows=50.0))
+        assert result.plan.uses(OpKind.HASH_AGGREGATE)
+        assert result.plan.uses(OpKind.SORT)
+
+    def test_scalar_aggregate_uses_stream_agg(self):
+        opt = make_optimizer(threshold=1e12)
+        result = opt.optimize(star_query(group_rows=1.0))
+        assert result.plan.uses(OpKind.STREAM_AGGREGATE)
+
+    def test_invalid_dop_rejected(self):
+        opt = make_optimizer()
+        with pytest.raises(PlanningError):
+            opt.optimize(star_query(), max_dop=0)
+
+    def test_estimate_bias_affects_threshold_only(self):
+        """optimizer_cost_scale shifts the serial/parallel decision but
+        not the plan's actual costs."""
+        spec_biased = QuerySpec(
+            name="b",
+            tables=(TableRef("fact", "f"), TableRef("dim", "d")),
+            joins=(JoinEdge("f", "d", key_side="d"),),
+            optimizer_cost_scale=1e9,
+        )
+        spec_plain = QuerySpec(
+            name="p",
+            tables=(TableRef("fact", "f"), TableRef("dim", "d")),
+            joins=(JoinEdge("f", "d", key_side="d"),),
+        )
+        opt = make_optimizer(threshold=1e12)
+        assert opt.optimize(spec_plain).dop == 1
+        assert opt.optimize(spec_biased).dop == 32
+
+
+class TestDeterminism:
+    def test_optimize_is_deterministic(self):
+        opt = make_optimizer(threshold=1.0)
+        a = opt.optimize(star_query())
+        b = opt.optimize(star_query())
+        assert a.plan.signature() == b.plan.signature()
+        assert a.estimated_elapsed_cost == b.estimated_elapsed_cost
+        assert a.required_memory_bytes == b.required_memory_bytes
+
+    def test_fresh_context_same_plan(self):
+        a = make_optimizer(threshold=1.0).optimize(star_query())
+        b = make_optimizer(threshold=1.0).optimize(star_query())
+        assert a.plan.signature() == b.plan.signature()

@@ -1,0 +1,102 @@
+"""Tests for plan trees and rendering."""
+
+import pytest
+
+from repro.engine.plan.operators import JoinAlgorithm, OpKind, PlanNode
+from repro.engine.plan.render import plan_diff_summary, render_plan
+from repro.errors import PlanningError
+
+
+def scan(table, rows=100.0, cpu=10.0, parallel=False):
+    return PlanNode(op=OpKind.COLUMNSTORE_SCAN, table=table, rows_out=rows,
+                    cpu_cost=cpu, scan_bytes=1000.0, parallel=parallel)
+
+
+def join(left, right, parallel=False, op=OpKind.HASH_JOIN, memory=50.0):
+    return PlanNode(op=op, children=(left, right), rows_out=10.0,
+                    cpu_cost=5.0, memory_bytes=memory, parallel=parallel)
+
+
+class TestPlanNode:
+    def test_walk_preorder(self):
+        tree = join(scan("a"), scan("b"))
+        kinds = [n.op for n in tree.walk()]
+        assert kinds == [OpKind.HASH_JOIN, OpKind.COLUMNSTORE_SCAN,
+                         OpKind.COLUMNSTORE_SCAN]
+
+    def test_totals(self):
+        tree = join(scan("a"), scan("b"))
+        assert tree.total_cpu_cost() == 25.0
+        assert tree.total_scan_bytes() == 2000.0
+        assert tree.total_memory_bytes() == 50.0
+        assert tree.operator_count() == 3
+
+    def test_join_count(self):
+        tree = join(join(scan("a"), scan("b")), scan("c"),
+                    op=OpKind.NESTED_LOOPS)
+        assert tree.join_count() == 2
+
+    def test_tables_touched(self):
+        tree = join(scan("a"), scan("b"))
+        assert set(tree.tables_touched()) == {"a", "b"}
+
+    def test_signature_distinguishes_structure(self):
+        a = join(scan("a"), scan("b"))
+        b = join(scan("b"), scan("a"))
+        c = join(scan("a"), scan("b"), op=OpKind.NESTED_LOOPS)
+        assert a.signature() != b.signature()
+        assert a.signature() != c.signature()
+        assert a.signature() == join(scan("a"), scan("b")).signature()
+
+    def test_signature_marks_parallelism(self):
+        serial = join(scan("a"), scan("b"))
+        parallel = serial.with_parallelism(True)
+        assert serial.signature() != parallel.signature()
+        assert parallel.is_parallel_plan()
+
+    def test_negative_estimates_rejected(self):
+        with pytest.raises(PlanningError):
+            PlanNode(op=OpKind.SORT, rows_out=-1.0)
+        with pytest.raises(PlanningError):
+            PlanNode(op=OpKind.SORT, memory_bytes=-1.0)
+
+    def test_join_algorithm_mapping(self):
+        assert JoinAlgorithm.HASH.op_kind is OpKind.HASH_JOIN
+        assert JoinAlgorithm.NESTED_LOOPS.op_kind is OpKind.NESTED_LOOPS
+        assert JoinAlgorithm.MERGE.op_kind is OpKind.MERGE_JOIN
+
+
+class TestRender:
+    def test_serial_arrow(self):
+        text = render_plan(scan("part"))
+        assert "-->" in text
+        assert "part" in text
+
+    def test_parallel_double_arrow(self):
+        text = render_plan(scan("part", parallel=True))
+        assert "<=>" in text
+
+    def test_indentation_by_depth(self):
+        tree = join(scan("a"), scan("b"))
+        lines = render_plan(tree).splitlines()
+        assert lines[0].startswith("-->")
+        assert lines[1].startswith("    ")
+
+    def test_row_formatting(self):
+        assert "2.50M rows" in render_plan(scan("t", rows=2.5e6))
+        assert "1.20B rows" in render_plan(scan("t", rows=1.2e9))
+        assert "3.0K rows" in render_plan(scan("t", rows=3000))
+
+    def test_costs_shown_on_request(self):
+        text = render_plan(join(scan("a"), scan("b")), show_costs=True)
+        assert "cost=" in text
+        assert "mem=" in text
+
+    def test_diff_summary(self):
+        serial = join(scan("a"), scan("b"))
+        parallel = join(scan("a"), scan("b"), parallel=True,
+                        op=OpKind.NESTED_LOOPS).with_parallelism(True)
+        summary = plan_diff_summary(serial, parallel)
+        assert "Hash Match" in summary
+        assert "Nested Loops" in summary
+        assert "same shape: False" in summary

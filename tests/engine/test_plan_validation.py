@@ -1,0 +1,81 @@
+"""Tests for the plan validator, plus a full validation sweep over every
+TPC-H plan the optimizer can produce."""
+
+import pytest
+
+from repro.core.knobs import ResourceAllocation
+from repro.engine.engine import SqlEngine
+from repro.engine.plan.operators import OpKind, PlanNode
+from repro.engine.plan.validation import assert_valid, validate_plan
+from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.schemas import build_tpch
+from repro.hardware.machine import Machine
+from repro.workloads.profiles import execution_profile
+from repro.workloads.tpch import TPCH_QUERIES, tpch_query
+
+
+def scan(table="t", parallel=False):
+    return PlanNode(op=OpKind.COLUMNSTORE_SCAN, table=table, rows_out=10,
+                    cpu_cost=1.0, scan_bytes=100.0, parallel=parallel)
+
+
+class TestValidator:
+    def test_valid_tree_passes(self):
+        tree = PlanNode(op=OpKind.HASH_JOIN, children=(scan("a"), scan("b")),
+                        rows_out=5, cpu_cost=1.0, memory_bytes=10.0)
+        assert validate_plan(tree) == []
+
+    def test_wrong_child_count(self):
+        tree = PlanNode(op=OpKind.HASH_JOIN, children=(scan("a"),),
+                        rows_out=5, cpu_cost=1.0)
+        rules = {v.rule for v in validate_plan(tree)}
+        assert "child-count" in rules
+
+    def test_leaf_without_table(self):
+        leaf = PlanNode(op=OpKind.TABLE_SCAN, rows_out=1)
+        rules = {v.rule for v in validate_plan(leaf)}
+        assert "leaf-table" in rules
+
+    def test_memory_on_wrong_operator(self):
+        node = PlanNode(op=OpKind.TOP, children=(scan(),), rows_out=1,
+                        memory_bytes=100.0)
+        rules = {v.rule for v in validate_plan(node)}
+        assert "memory-holder" in rules
+
+    def test_parallel_boundary_violation(self):
+        big_serial = PlanNode(op=OpKind.COLUMNSTORE_SCAN, table="big",
+                              rows_out=1e9, cpu_cost=1.0, parallel=False)
+        node = PlanNode(op=OpKind.HASH_JOIN,
+                        children=(big_serial, scan("b", parallel=True)),
+                        rows_out=1, parallel=True)
+        rules = {v.rule for v in validate_plan(node)}
+        assert "parallel-boundary" in rules
+
+    def test_small_serial_build_side_allowed(self):
+        tiny_serial = PlanNode(op=OpKind.COLUMNSTORE_SCAN, table="dim",
+                               rows_out=100, cpu_cost=1.0, parallel=False)
+        node = PlanNode(op=OpKind.HASH_JOIN,
+                        children=(tiny_serial, scan("b", parallel=True)),
+                        rows_out=1, parallel=True)
+        assert validate_plan(node) == []
+
+    def test_assert_valid_raises_with_details(self):
+        bad = PlanNode(op=OpKind.SORT, rows_out=1)  # sort with no child
+        with pytest.raises(AssertionError, match="child-count"):
+            assert_valid(bad)
+
+
+class TestAllTpchPlansValid:
+    @pytest.mark.parametrize("sf", [10, 100, 300])
+    def test_every_plan_every_maxdop(self, sf):
+        machine = Machine()
+        ResourceAllocation().apply_to(machine)
+        engine = SqlEngine(
+            machine, build_tpch(sf), execution_profile("tpch", sf),
+            governor=ResourceGovernor(max_dop=32),
+        )
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, sf)
+            for maxdop in (1, 8, 32):
+                optimized = engine.optimizer.optimize(spec, max_dop=maxdop)
+                assert_valid(optimized.plan)

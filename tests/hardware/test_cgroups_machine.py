@@ -1,0 +1,79 @@
+"""Tests for the cgroup front-ends and machine spec variants."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hardware.cgroups import BlkioLimits, CpuSet
+from repro.hardware.machine import Machine, MachineSpec
+from repro.hardware.topology import CpuTopology
+from repro.units import MIB, mb_per_s
+
+
+class TestCpuSet:
+    def test_defaults_to_all_cpus(self):
+        cpuset = CpuSet(topology=CpuTopology())
+        assert len(cpuset) == 32
+
+    def test_paper_allocation_shortcut(self):
+        cpuset = CpuSet(topology=CpuTopology())
+        cpuset.set_paper_allocation(4)
+        assert len(cpuset) == 4
+        assert cpuset.shape().physical_cores == 4
+
+    def test_explicit_cpu_list(self):
+        topo = CpuTopology()
+        cpuset = CpuSet(topology=topo)
+        cpuset.set_cpus(frozenset({0, 1, 16, 17}))
+        shape = cpuset.shape()
+        assert shape.logical_cpus == 4
+        assert shape.smt_paired_cores == 2
+
+    def test_invalid_cpus_rejected(self):
+        cpuset = CpuSet(topology=CpuTopology())
+        with pytest.raises(AllocationError):
+            cpuset.set_cpus(frozenset({99}))
+        with pytest.raises(AllocationError):
+            cpuset.set_cpus(frozenset())
+
+
+class TestBlkioLimits:
+    def test_unlimited_by_default(self):
+        limits = BlkioLimits()
+        assert limits.read_bps is None and limits.write_bps is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            BlkioLimits(read_bps=-1.0)
+
+
+class TestMachineVariants:
+    def test_single_socket_machine(self):
+        machine = MachineSpec(sockets=1, cores_per_socket=4).build()
+        assert machine.topology.total_logical_cpus == 8
+        assert machine.llc.total_size == 20 * MIB
+
+    def test_no_smt_machine(self):
+        machine = MachineSpec(smt=1).build()
+        assert machine.topology.total_logical_cpus == 16
+        shape = machine.topology.describe_allocation(
+            machine.topology.paper_allocation(16)
+        )
+        assert shape.smt_paired_cores == 0
+
+    def test_custom_ssd(self):
+        machine = MachineSpec(ssd_read_bw=mb_per_s(500)).build()
+        assert machine.ssd.effective_read_bw == mb_per_s(500)
+
+    def test_seed_controls_streams(self):
+        a = Machine(seed=1).streams.get("x").random()
+        b = Machine(seed=1).streams.get("x").random()
+        c = Machine(seed=2).streams.get("x").random()
+        assert a == b
+        assert a != c
+
+    def test_numa_model_attached(self):
+        machine = Machine()
+        shape = machine.topology.describe_allocation(
+            machine.topology.paper_allocation(16)
+        )
+        assert machine.numa.effective_miss_penalty(shape) > 180.0

@@ -1,0 +1,93 @@
+"""Tests for the CPU/SMT performance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.cpu import CpuModel, SmtModel, ThreadCharacteristics
+from repro.hardware.topology import CpuTopology
+
+
+def make_chars(mpki=2.0, cpi_base=0.8):
+    return ThreadCharacteristics(cpi_base=cpi_base, mpki=mpki)
+
+
+class TestThreadCharacteristics:
+    def test_cpi_increases_with_mpki(self):
+        low = make_chars(mpki=1.0).cpi()
+        high = make_chars(mpki=10.0).cpi()
+        assert high > low
+
+    def test_zero_mpki_gives_base_cpi(self):
+        chars = make_chars(mpki=0.0, cpi_base=0.7)
+        assert chars.cpi() == pytest.approx(0.7)
+        assert chars.memory_stall_fraction() == 0.0
+
+    def test_stall_fraction_bounded(self):
+        chars = make_chars(mpki=100.0)
+        assert 0.0 < chars.memory_stall_fraction() < 1.0
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    def test_stall_fraction_monotone_in_mpki(self, mpki):
+        lower = make_chars(mpki=mpki).memory_stall_fraction()
+        higher = make_chars(mpki=mpki + 1.0).memory_stall_fraction()
+        assert higher >= lower
+
+
+class TestSmtModel:
+    def test_memory_bound_threads_benefit(self):
+        smt = SmtModel()
+        assert smt.multiplier(0.8) > 1.0
+
+    def test_compute_bound_threads_can_lose(self):
+        smt = SmtModel()
+        assert smt.multiplier(0.0) < 1.0
+
+    def test_multiplier_monotone_in_stall(self):
+        smt = SmtModel()
+        values = [smt.multiplier(s / 10) for s in range(11)]
+        assert values == sorted(values)
+
+    def test_multiplier_floor(self):
+        smt = SmtModel(gain_span=0.0, interference_span=10.0)
+        assert smt.multiplier(0.0) == 0.5
+
+
+class TestCpuModel:
+    def test_turbo_at_low_core_count(self):
+        cpu = CpuModel()
+        assert cpu.frequency(1, 16) == pytest.approx(3.0e9)
+
+    def test_allcore_turbo_at_full_load(self):
+        cpu = CpuModel()
+        assert cpu.frequency(16, 16) == pytest.approx(2.3e9)
+
+    def test_frequency_monotone_decreasing(self):
+        cpu = CpuModel()
+        freqs = [cpu.frequency(n, 16) for n in range(1, 17)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_capacity_counts_smt_multiplier(self):
+        cpu = CpuModel()
+        topo = CpuTopology()
+        chars = make_chars(mpki=8.0)
+        shape16 = topo.describe_allocation(topo.paper_allocation(16))
+        shape32 = topo.describe_allocation(topo.paper_allocation(32))
+        cap16 = cpu.capacity_core_equivalents(chars, shape16)
+        cap32 = cpu.capacity_core_equivalents(chars, shape32)
+        assert cap16 == pytest.approx(16.0)
+        expected = 16.0 * cpu.smt.multiplier(chars.memory_stall_fraction())
+        assert cap32 == pytest.approx(expected)
+
+    def test_aggregate_ips_scales_with_cores(self):
+        cpu = CpuModel()
+        topo = CpuTopology()
+        chars = make_chars()
+        ips = [
+            cpu.aggregate_ips(
+                chars, topo.describe_allocation(topo.paper_allocation(n)), 16
+            )
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert all(b > a for a, b in zip(ips, ips[1:]))
+        # Sub-linear because of turbo decay.
+        assert ips[4] < 16 * ips[0]

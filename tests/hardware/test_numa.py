@@ -1,0 +1,76 @@
+"""Tests for the NUMA/QPI model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.numa import NumaModel
+from repro.hardware.topology import CpuTopology
+from repro.units import CACHE_LINE, gb_per_s
+
+
+@pytest.fixture
+def topo():
+    return CpuTopology()
+
+
+@pytest.fixture
+def numa():
+    return NumaModel()
+
+
+def shape(topo, cores):
+    return topo.describe_allocation(topo.paper_allocation(cores))
+
+
+class TestNumaModel:
+    def test_single_socket_all_local(self, numa, topo):
+        assert numa.remote_access_fraction(shape(topo, 8)) == 0.0
+        assert numa.effective_miss_penalty(shape(topo, 8)) == pytest.approx(180.0)
+
+    def test_dual_socket_pays_remote_blend(self, numa, topo):
+        dual = shape(topo, 16)
+        assert numa.remote_access_fraction(dual) == pytest.approx(0.25)
+        penalty = numa.effective_miss_penalty(dual)
+        assert penalty > 180.0
+        assert penalty == pytest.approx(180.0 * (1 + 0.25 * 0.55))
+
+    def test_qpi_demand_scales_with_misses(self, numa, topo):
+        dual = shape(topo, 16)
+        assert numa.qpi_demand_bytes_per_s(1e6, dual) == pytest.approx(
+            1e6 * 0.25 * CACHE_LINE
+        )
+        assert numa.qpi_demand_bytes_per_s(1e6, shape(topo, 4)) == 0.0
+
+    def test_qpi_throttle_rarely_binds(self, numa, topo):
+        dual = shape(topo, 16)
+        # A realistic miss rate is far below the 32 GB/s QPI link.
+        assert numa.qpi_throttle_factor(1e8, dual) == 1.0
+        # An absurd one throttles.
+        huge = gb_per_s(32) / CACHE_LINE / 0.25 * 2
+        assert numa.qpi_throttle_factor(huge, dual) < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaModel(local_penalty_cycles=0)
+        with pytest.raises(ConfigurationError):
+            NumaModel(remote_penalty_multiplier=0.9)
+        with pytest.raises(ConfigurationError):
+            NumaModel(interleave_fraction=1.5)
+
+
+class TestSocketBoundaryEffect:
+    def test_crossing_socket_reduces_per_core_efficiency(self):
+        """Fig 2: scaling 8 -> 16 cores crosses the socket boundary and
+        is visibly sublinear relative to 4 -> 8."""
+        from repro.core import ResourceAllocation, run_experiment
+        perf = {
+            n: run_experiment(
+                "tpch", 30,
+                allocation=ResourceAllocation(logical_cores=n),
+                duration=250,
+            ).primary_metric
+            for n in (4, 8, 16)
+        }
+        within_socket = perf[8] / perf[4]
+        across_sockets = perf[16] / perf[8]
+        assert across_sockets < within_socket

@@ -1,0 +1,69 @@
+"""Tests for machine presets and cross-hardware studies."""
+
+import pytest
+
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.hardware.presets import (
+    NO_SMT_TESTBED,
+    PAPER_TESTBED,
+    PRESETS,
+    SCALE_OUT,
+    SCALE_UP,
+    SINGLE_SOCKET,
+    preset,
+)
+from repro.units import MIB
+
+
+class TestPresets:
+    def test_paper_testbed_matches_section3(self):
+        machine = PAPER_TESTBED.build()
+        assert machine.topology.total_logical_cpus == 32
+        assert machine.llc.total_size == 40 * MIB
+        assert machine.dram.capacity_bytes == 64 * 1024 ** 3
+
+    def test_scale_out_trades_cache_for_cores(self):
+        assert SCALE_OUT.cores_per_socket > PAPER_TESTBED.cores_per_socket
+        assert SCALE_OUT.llc_per_socket_bytes < PAPER_TESTBED.llc_per_socket_bytes
+
+    def test_lookup(self):
+        assert preset("scale-up") is SCALE_UP
+        with pytest.raises(KeyError):
+            preset("mainframe")
+
+    def test_all_presets_buildable(self):
+        for name, spec in PRESETS.items():
+            machine = spec.build()
+            assert machine.topology.total_logical_cpus >= 8, name
+
+
+class TestCrossHardwareStudy:
+    def _tps(self, spec, cores):
+        config = ExperimentConfig(
+            workload="asdb", scale_factor=2000,
+            allocation=ResourceAllocation(
+                logical_cores=cores,
+                llc_mb=(spec.llc_per_socket_bytes // MIB) * spec.sockets,
+            ),
+            duration=6.0, machine_spec=spec,
+        )
+        return Experiment(config).run().primary_metric
+
+    def test_scale_out_wins_for_oltp(self):
+        """The §6 thesis: OLTP barely uses the LLC, so trading cache for
+        cores is a net win for transactional throughput."""
+        testbed = self._tps(PAPER_TESTBED, cores=32)
+        scale_out = self._tps(SCALE_OUT, cores=64)
+        assert scale_out > testbed
+
+    def test_single_socket_has_no_numa_penalty(self):
+        machine = SINGLE_SOCKET.build()
+        shape = machine.topology.describe_allocation(
+            machine.topology.paper_allocation(16)
+        )
+        assert machine.numa.remote_access_fraction(shape) == 0.0
+
+    def test_no_smt_testbed_peaks_at_16(self):
+        machine = NO_SMT_TESTBED.build()
+        assert machine.topology.total_logical_cpus == 16

@@ -1,0 +1,156 @@
+"""Tests for the NVMe/blkio model, DRAM model, counters, and machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cgroups import BlkioLimits
+from repro.hardware.counters import (
+    CounterSampler,
+    INSTRUCTIONS,
+    SSD_READ_BYTES,
+)
+from repro.hardware.machine import Machine, MachineSpec
+from repro.hardware.memory import DramModel
+from repro.hardware.storage import NvmeDevice
+from repro.sim.process import Simulator, Timeout
+from repro.units import CACHE_LINE, MIB, gb_per_s, mb_per_s
+
+
+class TestNvmeDevice:
+    def test_read_paced_by_device_bandwidth(self):
+        sim = Simulator()
+        dev = NvmeDevice(sim, read_bw=mb_per_s(100), write_bw=mb_per_s(100))
+        def reader():
+            yield from dev.read(mb_per_s(100) * 2)  # 2 seconds of data
+            return sim.now
+        proc = sim.spawn(reader())
+        sim.run()
+        assert proc.result == pytest.approx(2.0, rel=0.02)
+
+    def test_cgroup_read_limit_tightens(self):
+        sim = Simulator()
+        dev = NvmeDevice(sim, read_bw=mb_per_s(1000), write_bw=mb_per_s(1000))
+        dev.set_read_limit(mb_per_s(10))
+        def reader():
+            yield from dev.read(mb_per_s(10) * 3)
+            return sim.now
+        proc = sim.spawn(reader())
+        sim.run()
+        assert proc.result == pytest.approx(3.0, rel=0.02)
+        assert dev.effective_read_bw == mb_per_s(10)
+
+    def test_clearing_limit_restores_device_bw(self):
+        sim = Simulator()
+        dev = NvmeDevice(sim)
+        dev.set_read_limit(mb_per_s(10))
+        dev.set_read_limit(None)
+        assert dev.effective_read_bw == mb_per_s(2500)
+
+    def test_write_limit_independent_of_read(self):
+        sim = Simulator()
+        dev = NvmeDevice(sim)
+        dev.set_write_limit(mb_per_s(50))
+        assert dev.effective_write_bw == mb_per_s(50)
+        assert dev.effective_read_bw == mb_per_s(2500)
+
+    def test_accounting(self):
+        sim = Simulator()
+        dev = NvmeDevice(sim)
+        def worker():
+            yield from dev.read(1000.0)
+            yield from dev.write(500.0)
+        sim.spawn(worker())
+        sim.run()
+        assert dev.bytes_read == pytest.approx(1000.0)
+        assert dev.bytes_written == pytest.approx(500.0)
+
+    def test_invalid_limit_rejected(self):
+        sim = Simulator()
+        dev = NvmeDevice(sim)
+        with pytest.raises(ConfigurationError):
+            dev.set_read_limit(-5.0)
+
+
+class TestDramModel:
+    def test_achievable_bandwidth_is_third_of_peak(self):
+        dram = DramModel()
+        assert dram.achievable_bw_per_socket == pytest.approx(gb_per_s(68.3) / 3)
+
+    def test_read_demand_from_misses(self):
+        dram = DramModel()
+        assert dram.read_bandwidth_demand(1e6) == pytest.approx(1e6 * CACHE_LINE)
+
+    def test_throttle_only_when_demand_exceeds(self):
+        dram = DramModel()
+        low = dram.throttle_factor(misses_per_second=1e6, sockets_used=2)
+        assert low == 1.0
+        # A miss rate implying more traffic than achievable gets throttled.
+        huge = dram.achievable_bw_total / CACHE_LINE * 2
+        assert dram.throttle_factor(huge, sockets_used=2) < 1.0
+
+    def test_throttle_uses_only_allocated_sockets(self):
+        dram = DramModel()
+        rate = dram.achievable_bw_per_socket / CACHE_LINE  # saturates 1 socket
+        one = dram.throttle_factor(rate * 1.2, sockets_used=1)
+        two = dram.throttle_factor(rate * 1.2, sockets_used=2)
+        assert one < 1.0
+        assert two == 1.0
+
+
+class _FakeSource:
+    def __init__(self):
+        self.totals = {INSTRUCTIONS: 0.0, SSD_READ_BYTES: 0.0}
+
+    def counter_totals(self):
+        return dict(self.totals)
+
+
+class TestCounterSampler:
+    def test_interval_rates(self):
+        sim = Simulator()
+        source = _FakeSource()
+        sampler = CounterSampler(sim, source)
+        def driver():
+            for _ in range(3):
+                source.totals[INSTRUCTIONS] += 100.0
+                source.totals[SSD_READ_BYTES] += 10.0
+                yield Timeout(1.0)
+        sim.spawn(driver())
+        sim.run(until=3.0)
+        sampler.stop()
+        rates = sampler.series.series(INSTRUCTIONS)
+        assert len(rates) == 3
+        assert all(r == pytest.approx(100.0) for r in rates)
+        assert sampler.series.mean(SSD_READ_BYTES) == pytest.approx(10.0)
+
+
+class TestMachine:
+    def test_default_spec_matches_paper(self):
+        machine = MachineSpec().build()
+        assert machine.topology.total_logical_cpus == 32
+        assert machine.llc.total_size == 40 * MIB
+        assert machine.dram.capacity_bytes == pytest.approx(64 * 1024**3)
+
+    def test_allocate_cores_updates_cpuset(self):
+        machine = Machine()
+        machine.allocate_cores(8)
+        shape = machine.cpuset.shape()
+        assert shape.physical_cores == 8
+        assert shape.smt_paired_cores == 0
+
+    def test_allocate_llc(self):
+        machine = Machine()
+        machine.allocate_llc_mb(6)
+        assert machine.llc.allocated_bytes() == 6 * MIB
+
+    def test_apply_blkio_configures_ssd(self):
+        machine = Machine()
+        machine.apply_blkio(BlkioLimits(read_bps=mb_per_s(200)))
+        assert machine.ssd.effective_read_bw == mb_per_s(200)
+
+    def test_reboot_flushes_residual(self):
+        machine = Machine()
+        machine.allocate_llc_mb(2)
+        machine.llc.warm_outside_mask(0.9)
+        machine.reboot()
+        assert machine.llc.effective_bytes() == machine.llc.allocated_bytes()

@@ -1,0 +1,81 @@
+"""Tests for CPU topology and the paper's core allocation order."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hardware.topology import CpuTopology
+
+
+@pytest.fixture
+def topo():
+    return CpuTopology(sockets=2, cores_per_socket=8, smt=2)
+
+
+def test_counts(topo):
+    assert topo.total_physical_cores == 16
+    assert topo.total_logical_cpus == 32
+    assert len(topo.cpus) == 32
+
+
+def test_each_physical_core_has_two_siblings(topo):
+    for cpu in topo.cpus:
+        siblings = topo.siblings(cpu.cpu_id)
+        assert len(siblings) == 2
+        assert {s.smt_index for s in siblings} == {0, 1}
+
+
+def test_paper_allocation_socket0_first(topo):
+    cpus = topo.paper_allocation(8)
+    sockets = {topo.cpu(c).socket for c in cpus}
+    assert sockets == {0}
+    # One logical CPU per physical core.
+    shape = topo.describe_allocation(cpus)
+    assert shape.physical_cores == 8
+    assert shape.smt_paired_cores == 0
+
+
+def test_paper_allocation_16_uses_both_sockets_no_smt(topo):
+    cpus = topo.paper_allocation(16)
+    shape = topo.describe_allocation(cpus)
+    assert shape.physical_cores == 16
+    assert shape.smt_paired_cores == 0
+    assert shape.sockets_used == 2
+
+
+def test_paper_allocation_32_pairs_all_cores(topo):
+    cpus = topo.paper_allocation(32)
+    shape = topo.describe_allocation(cpus)
+    assert shape.physical_cores == 16
+    assert shape.smt_paired_cores == 16
+
+
+def test_paper_allocation_between_16_and_32_adds_siblings(topo):
+    cpus = topo.paper_allocation(20)
+    shape = topo.describe_allocation(cpus)
+    assert shape.physical_cores == 16
+    assert shape.smt_paired_cores == 4
+
+
+def test_crossing_socket_boundary_flag(topo):
+    assert not topo.describe_allocation(topo.paper_allocation(8)).crosses_socket_boundary
+    assert topo.describe_allocation(topo.paper_allocation(9)).crosses_socket_boundary
+
+
+def test_allocation_is_superset_of_smaller_one(topo):
+    previous = frozenset()
+    for n in (1, 2, 4, 8, 16, 32):
+        current = topo.paper_allocation(n)
+        assert previous <= current
+        previous = current
+
+
+def test_invalid_allocation_sizes(topo):
+    with pytest.raises(AllocationError):
+        topo.paper_allocation(0)
+    with pytest.raises(AllocationError):
+        topo.paper_allocation(33)
+
+
+def test_invalid_cpu_id(topo):
+    with pytest.raises(AllocationError):
+        topo.cpu(99)

@@ -1,0 +1,108 @@
+"""Tests for the event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule_at(3.0, lambda ev: order.append(3))
+    loop.schedule_at(1.0, lambda ev: order.append(1))
+    loop.schedule_at(2.0, lambda ev: order.append(2))
+    loop.run()
+    assert order == [1, 2, 3]
+
+
+def test_simultaneous_events_fire_fifo():
+    loop = EventLoop()
+    order = []
+    for i in range(5):
+        loop.schedule_at(1.0, lambda ev, i=i: order.append(i))
+    loop.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule_at(2.5, lambda ev: seen.append(loop.now))
+    loop.run()
+    assert seen == [2.5]
+    assert loop.now == 2.5
+
+
+def test_schedule_after_is_relative():
+    loop = EventLoop()
+    times = []
+    def chain(ev):
+        times.append(loop.now)
+        if len(times) < 3:
+            loop.schedule_after(1.0, chain)
+    loop.schedule_after(1.0, chain)
+    loop.run()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule_at(1.0, lambda ev: fired.append(1))
+    event.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, lambda ev: fired.append(1))
+    loop.schedule_at(10.0, lambda ev: fired.append(10))
+    loop.run(until=5.0)
+    assert fired == [1]
+    assert loop.now == 5.0
+
+
+def test_run_until_then_resume():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(10.0, lambda ev: fired.append(10))
+    loop.run(until=5.0)
+    loop.run()
+    assert fired == [10]
+
+
+def test_scheduling_in_past_raises():
+    loop = EventLoop()
+    loop.schedule_at(5.0, lambda ev: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.schedule_at(1.0, lambda ev: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule_after(-1.0, lambda ev: None)
+
+
+def test_peek_time_skips_cancelled():
+    loop = EventLoop()
+    first = loop.schedule_at(1.0, lambda ev: None)
+    loop.schedule_at(2.0, lambda ev: None)
+    first.cancel()
+    assert loop.peek_time() == 2.0
+
+
+def test_events_scheduled_during_run_are_processed():
+    loop = EventLoop()
+    fired = []
+    def outer(ev):
+        fired.append("outer")
+        loop.schedule_after(0.5, lambda ev2: fired.append("inner"))
+    loop.schedule_at(1.0, outer)
+    loop.run()
+    assert fired == ["outer", "inner"]
+    assert loop.now == 1.5

@@ -1,0 +1,125 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Simulator, Timeout
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    def worker():
+        yield Timeout(2.0)
+        yield Timeout(3.0)
+    sim.spawn(worker())
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_process_result_captured():
+    sim = Simulator()
+    def worker():
+        yield Timeout(1.0)
+        return 42
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.result == 42
+    assert not proc.alive
+
+
+def test_wait_event_resumes_with_value():
+    sim = Simulator()
+    gate = sim.event()
+    results = []
+    def waiter():
+        value = yield gate
+        results.append((sim.now, value))
+    def trigger_later():
+        yield Timeout(4.0)
+        gate.trigger("go")
+    sim.spawn(waiter())
+    sim.spawn(trigger_later())
+    sim.run()
+    assert results == [(4.0, "go")]
+
+
+def test_wait_on_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.trigger("early")
+    results = []
+    def waiter():
+        value = yield gate
+        results.append(value)
+    sim.spawn(waiter())
+    sim.run()
+    assert results == ["early"]
+
+
+def test_double_trigger_raises():
+    sim = Simulator()
+    gate = sim.event()
+    gate.trigger()
+    with pytest.raises(SimulationError):
+        gate.trigger()
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+    def child():
+        yield Timeout(3.0)
+        return "child-result"
+    def parent():
+        proc = sim.spawn(child())
+        result = yield proc
+        return (sim.now, result)
+    parent_proc = sim.spawn(parent())
+    sim.run()
+    assert parent_proc.result == (3.0, "child-result")
+
+
+def test_multiple_waiters_all_wake():
+    sim = Simulator()
+    gate = sim.event()
+    woken = []
+    def waiter(i):
+        yield gate
+        woken.append(i)
+    for i in range(3):
+        sim.spawn(waiter(i))
+    def trigger():
+        yield Timeout(1.0)
+        gate.trigger()
+    sim.spawn(trigger())
+    sim.run()
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+    def bad():
+        yield "not a command"
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_timeout_raises():
+    with pytest.raises(SimulationError):
+        Timeout(-0.1)
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    progressed = []
+    def worker():
+        yield Timeout(1.0)
+        progressed.append(1)
+        yield Timeout(1.0)
+        progressed.append(2)
+    proc = sim.spawn(worker())
+    sim.run(until=1.5)
+    proc.interrupt()
+    sim.run()
+    assert progressed == [1]
+    assert not proc.alive

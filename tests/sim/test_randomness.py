@@ -1,0 +1,47 @@
+"""Tests for deterministic random streams."""
+
+from repro.sim.randomness import RandomStreams
+
+
+def test_same_name_same_stream_object():
+    streams = RandomStreams(seed=1)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_streams_are_independent_by_name():
+    streams = RandomStreams(seed=1)
+    a = streams.get("a").random(5).tolist()
+    b = streams.get("b").random(5).tolist()
+    assert a != b
+
+
+def test_reproducible_across_instances():
+    a = RandomStreams(seed=9).get("x").random(3).tolist()
+    b = RandomStreams(seed=9).get("x").random(3).tolist()
+    assert a == b
+
+
+def test_seed_changes_draws():
+    a = RandomStreams(seed=1).get("x").random(3).tolist()
+    b = RandomStreams(seed=2).get("x").random(3).tolist()
+    assert a != b
+
+
+def test_adding_consumers_does_not_perturb_existing():
+    """Common-random-numbers property: draws from stream 'a' are the same
+    whether or not stream 'b' was ever created."""
+    lone = RandomStreams(seed=5)
+    lone_draws = lone.get("a").random(4).tolist()
+    crowded = RandomStreams(seed=5)
+    crowded.get("b").random(100)
+    crowded_draws = crowded.get("a").random(4).tolist()
+    assert lone_draws == crowded_draws
+
+
+def test_fork_creates_independent_family():
+    base = RandomStreams(seed=3)
+    fork1 = base.fork("experiment-1")
+    fork2 = base.fork("experiment-2")
+    same_fork = RandomStreams(seed=3).fork("experiment-1")
+    assert fork1.get("x").random(3).tolist() == same_fork.get("x").random(3).tolist()
+    assert fork1.get("x").random(3).tolist() != fork2.get("x").random(3).tolist()

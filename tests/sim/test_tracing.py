@@ -1,0 +1,83 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Simulator, Timeout
+from repro.sim.tracing import Tracer
+
+
+def test_tracer_records_fired_events():
+    sim = Simulator()
+    def worker():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+    sim.spawn(worker())
+    with Tracer(sim.loop) as tracer:
+        sim.run()
+    assert tracer.total_fired >= 3  # spawn + two timeouts
+    assert len(tracer.records) == tracer.total_fired
+    times = [r.time for r in tracer.records]
+    assert times == sorted(times)
+
+
+def test_tracer_detaches_cleanly():
+    sim = Simulator()
+    tracer = Tracer(sim.loop)
+    tracer.attach()
+    tracer.detach()
+    def worker():
+        yield Timeout(1.0)
+    sim.spawn(worker())
+    sim.run()
+    assert tracer.total_fired == 0  # nothing traced after detach
+
+
+def test_ring_buffer_bounds_memory():
+    sim = Simulator()
+    def worker():
+        for _ in range(50):
+            yield Timeout(0.1)
+    sim.spawn(worker())
+    with Tracer(sim.loop, capacity=10) as tracer:
+        sim.run()
+    assert len(tracer.records) == 10
+    assert tracer.total_fired > 10
+
+
+def test_predicate_filters():
+    sim = Simulator()
+    def worker():
+        for _ in range(5):
+            yield Timeout(1.0)
+    sim.spawn(worker())
+    with Tracer(sim.loop, predicate=lambda t, label: t >= 3.0) as tracer:
+        sim.run()
+    assert all(r.time >= 3.0 for r in tracer.records)
+
+
+def test_histogram_and_dump():
+    sim = Simulator()
+    def worker():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+    sim.spawn(worker())
+    with Tracer(sim.loop) as tracer:
+        sim.run()
+    hist = tracer.histogram_by_label()
+    assert sum(hist.values()) == tracer.total_fired
+    dump = tracer.dump(last=2)
+    assert len(dump.splitlines()) == 2
+
+
+def test_double_attach_rejected():
+    sim = Simulator()
+    tracer = Tracer(sim.loop).attach()
+    with pytest.raises(SimulationError):
+        tracer.attach()
+    tracer.detach()
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        Tracer(Simulator().loop, capacity=0)

@@ -1,0 +1,167 @@
+"""Tests for the water-filling capped-share server."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.process import Simulator, Timeout
+from repro.sim.waterfill import WaterfillServer, waterfill
+
+
+class TestWaterfillFunction:
+    def test_empty(self):
+        assert waterfill(10.0, []) == []
+
+    def test_single_uncapped(self):
+        assert waterfill(10.0, [100.0]) == [10.0]
+
+    def test_single_capped(self):
+        assert waterfill(10.0, [3.0]) == [3.0]
+
+    def test_redistribution_unweighted(self):
+        rates = waterfill(10.0, [1.0, 100.0, 100.0], weights=[1.0, 1.0, 1.0])
+        assert rates == [1.0, 4.5, 4.5]
+
+    def test_default_weights_are_caps(self):
+        # A 32-worker job weighs 32x a single-worker job.
+        rates = waterfill(10.0, [1.0, 32.0])
+        assert rates[0] == pytest.approx(10.0 * 1 / 33)
+        assert rates[1] == pytest.approx(10.0 * 32 / 33)
+
+    def test_all_capped_under_capacity(self):
+        rates = waterfill(10.0, [2.0, 3.0])
+        assert rates == [2.0, 3.0]
+
+    def test_equal_split_when_no_caps_bind(self):
+        rates = waterfill(9.0, [100.0, 100.0, 100.0])
+        assert rates == [3.0, 3.0, 3.0]
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000.0),
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20),
+    )
+    def test_invariants(self, capacity, caps):
+        rates = waterfill(capacity, caps)
+        assert len(rates) == len(caps)
+        assert sum(rates) <= capacity + 1e-6
+        for rate, cap in zip(rates, caps):
+            assert 0 <= rate <= cap + 1e-9
+        # Work conservation: either capacity is exhausted or every job is
+        # at its cap.
+        if sum(caps) >= capacity:
+            assert sum(rates) == pytest.approx(capacity, rel=1e-6)
+        else:
+            assert rates == pytest.approx(caps)
+
+
+class TestWaterfillServer:
+    def test_cap_limits_single_job(self):
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=32.0)
+        def worker():
+            yield from server.submit(8.0, cap=4.0)
+            return sim.now
+        proc = sim.spawn(worker())
+        sim.run()
+        assert proc.result == pytest.approx(2.0)
+
+    def test_two_jobs_share_with_caps(self):
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=4.0)
+        results = {}
+        def worker(name, work, cap):
+            yield from server.submit(work, cap=cap)
+            results[name] = sim.now
+        # Weighted shares: caps 1 and 3 exactly consume the capacity, so
+        # each runs at its cap.
+        sim.spawn(worker("capped", 2.0, 1.0))
+        sim.spawn(worker("wide", 6.0, 3.0))
+        sim.run()
+        assert results["capped"] == pytest.approx(2.0)
+        assert results["wide"] == pytest.approx(2.0)
+
+    def test_set_capacity_midflight(self):
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=2.0)
+        finish = []
+        def worker():
+            yield from server.submit(4.0, cap=100.0)
+            finish.append(sim.now)
+        def shrink():
+            yield Timeout(1.0)
+            server.set_capacity(1.0)
+        sim.spawn(worker())
+        sim.spawn(shrink())
+        sim.run()
+        # 2 units done in first second, remaining 2 at rate 1 -> t=3.
+        assert finish == [pytest.approx(3.0)]
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=2.0)
+        def worker():
+            yield from server.submit(2.0, cap=1.0)
+        sim.spawn(worker())
+        sim.run()
+        # 2 units of work on capacity 2 over 2 seconds -> 50% utilization.
+        assert server.utilization(end_time=2.0) == pytest.approx(0.5)
+
+    def test_work_conservation_many_jobs(self):
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=3.0)
+        amounts = [0.5, 1.0, 2.0, 4.0, 0.25]
+        def worker(amount):
+            yield from server.submit(amount, cap=2.0)
+        for amount in amounts:
+            sim.spawn(worker(amount))
+        sim.run()
+        assert server.total_work_done == pytest.approx(sum(amounts))
+
+
+class TestWaterfillServerProperties:
+    """Property-based checks on the shared core pool."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=5.0),   # work
+                st.floats(min_value=0.5, max_value=32.0),   # cap
+                st.floats(min_value=0.0, max_value=2.0),    # arrival delay
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=1.0, max_value=32.0),
+    )
+    def test_work_conservation_and_completion(self, jobs, capacity):
+        from repro.sim.process import Simulator, Timeout
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=capacity)
+        done = []
+        def worker(delay, work, cap):
+            yield Timeout(delay)
+            yield from server.submit(work, cap=cap)
+            done.append(sim.now)
+        for work, cap, delay in jobs:
+            sim.spawn(worker(delay, work, cap))
+        sim.run()
+        assert len(done) == len(jobs)
+        total_work = sum(w for w, _, _ in jobs)
+        assert server.total_work_done == pytest.approx(total_work, rel=1e-6)
+        # No job finishes faster than running alone at its cap allows.
+        makespan = max(done)
+        lower_bound = max(
+            delay + work / min(cap, capacity) for work, cap, delay in jobs
+        )
+        assert makespan >= lower_bound - 1e-6
+
+    @given(st.floats(min_value=0.1, max_value=8.0))
+    def test_single_job_rate_is_min_of_cap_and_capacity(self, cap):
+        from repro.sim.process import Simulator
+        sim = Simulator()
+        server = WaterfillServer(sim, capacity=4.0)
+        def worker():
+            yield from server.submit(8.0, cap=cap)
+            return sim.now
+        proc = sim.spawn(worker())
+        sim.run()
+        assert proc.result == pytest.approx(8.0 / min(cap, 4.0), rel=1e-6)

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for workload in ("asdb", "tpce", "tpch", "htap"):
+        assert workload in out
+
+
+def test_run_basic(capsys):
+    code = main(["run", "asdb", "2000", "--duration", "3", "--cores", "8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "primary metric" in out
+    assert "MPKI" in out
+
+
+def test_run_with_limits(capsys):
+    code = main([
+        "run", "asdb", "2000", "--duration", "3",
+        "--write-limit-mb", "50", "--grant-percent", "10",
+    ])
+    assert code == 0
+
+
+def test_run_htap_shows_qph(capsys):
+    code = main(["run", "htap", "5000", "--duration", "3"])
+    assert code == 0
+    assert "analytics QPH" in capsys.readouterr().out
+
+
+def test_sweep_cores(capsys):
+    code = main(["sweep", "cores", "asdb", "2000", "--duration-scale", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cores" in out and "perf" in out
+
+
+def test_figure_table2(capsys):
+    assert main(["figure", "table2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_figure_fig7(capsys):
+    assert main(["figure", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 7a" in out and "Fig 7b" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "oracle", "1"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_report(capsys):
+    code = main(["report", "--duration-scale", "0.1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Calibration report" in out
+    assert "perf16/perf32" in out

@@ -1,0 +1,30 @@
+"""Run the doctests embedded in docstrings of the light-weight modules."""
+
+import doctest
+
+import pytest
+
+import repro.core.report
+import repro.engine.plan.render
+import repro.sim.events
+import repro.sim.process
+import repro.sim.randomness
+import repro.sim.waterfill
+import repro.units
+
+MODULES = [
+    repro.sim.events,
+    repro.sim.process,
+    repro.sim.randomness,
+    repro.sim.waterfill,
+    repro.engine.plan.render,
+    repro.units,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    if result.attempted == 0:
+        pytest.skip(f"{module.__name__} has no doctests")
+    assert result.failed == 0

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    PlanningError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (AllocationError, ConfigurationError, PlanningError,
+                SimulationError, WorkloadError):
+        assert issubclass(exc, ReproError)
+
+
+def test_allocation_is_a_configuration_error():
+    assert issubclass(AllocationError, ConfigurationError)
+
+
+def test_single_except_catches_library_errors():
+    with pytest.raises(ReproError):
+        raise AllocationError("no such core")
+
+
+def test_library_raises_its_own_types():
+    from repro.hardware.cache import LastLevelCache
+    llc = LastLevelCache()
+    with pytest.raises(ReproError):
+        llc.set_allocation_mb_total(3)
+    from repro.engine.optimizer.queryspec import TableRef
+    with pytest.raises(ReproError):
+        TableRef("t", "t", selectivity=2.0)

@@ -1,0 +1,45 @@
+"""Smoke tests for the runnable examples (the fast ones run fully; the
+long sweeps are exercised through their underlying library calls in
+tests/core instead)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_plan_explorer_q20():
+    out = run_example("plan_explorer.py", "20", "300")
+    assert "Optimizer decisions" in out
+    assert "Nested Loops" in out          # the Fig 7 flip is visible
+    assert "same shape: False" in out
+
+
+def test_plan_explorer_custom_query():
+    out = run_example("plan_explorer.py", "6", "10")
+    assert "TPC-H Q6" in out
+    assert "Columnstore Index Scan" in out
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "TPS" in out
+    assert "Smallest allocation within 90%" in out
+
+
+def test_htap_consolidation():
+    out = run_example("htap_consolidation.py")
+    assert "HTAP consolidation summary" in out
+    assert "analytics QPH" in out

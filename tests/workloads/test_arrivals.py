@@ -1,0 +1,75 @@
+"""Tests for the open-loop arrival driver."""
+
+import pytest
+
+from repro.core.knobs import ResourceAllocation
+from repro.engine.engine import SqlEngine
+from repro.engine.resource_governor import ResourceGovernor
+from repro.errors import WorkloadError
+from repro.hardware.machine import Machine
+from repro.workloads.arrivals import OpenLoopDriver, latency_curve
+from repro.workloads.asdb import AsdbWorkload
+
+
+def make_pair(seed=0):
+    workload = AsdbWorkload(2000, clients=1)  # clients unused open-loop
+    machine = Machine(seed=seed)
+    ResourceAllocation().apply_to(machine)
+    engine = SqlEngine(
+        machine, workload.database, workload.execution_characteristics(),
+        governor=ResourceGovernor(), **workload.engine_parameters(),
+    )
+    return workload, engine
+
+
+class TestOpenLoopDriver:
+    def test_low_load_completes_offered_rate(self):
+        workload, engine = make_pair()
+        driver = OpenLoopDriver(workload, engine, offered_tps=100.0)
+        result = driver.run(duration=10.0)
+        assert result.completed_tps == pytest.approx(100.0, rel=0.2)
+        assert result.dropped == 0
+
+    def test_overload_saturates_below_offered(self):
+        workload, engine = make_pair()
+        driver = OpenLoopDriver(workload, engine, offered_tps=50_000.0,
+                                max_in_flight=500)
+        result = driver.run(duration=5.0)
+        assert result.completed_tps < 0.5 * result.offered_tps
+        assert result.dropped > 0
+
+    def test_latency_grows_with_utilization(self):
+        """The queueing knee: p99 latency at high load >> at low load."""
+        tails = {}
+        for rate in (100.0, 1700.0):
+            workload, engine = make_pair()
+            driver = OpenLoopDriver(workload, engine, offered_tps=rate)
+            result = driver.run(duration=10.0)
+            tails[rate] = result.percentile_ms(99)
+        assert tails[1700.0] > 2.0 * tails[100.0]
+
+    def test_deterministic_arrivals(self):
+        workload, engine = make_pair()
+        driver = OpenLoopDriver(workload, engine, offered_tps=50.0,
+                                deterministic=True)
+        result = driver.run(duration=4.0)
+        # Deterministic gaps: exactly rate*duration arrivals (minus edge).
+        assert abs(result.completed - 200) <= 2
+
+    def test_invalid_parameters(self):
+        workload, engine = make_pair()
+        with pytest.raises(WorkloadError):
+            OpenLoopDriver(workload, engine, offered_tps=0.0)
+        with pytest.raises(WorkloadError):
+            OpenLoopDriver(workload, engine, offered_tps=1.0, max_in_flight=0)
+
+    def test_latency_curve_helper(self):
+        results = latency_curve(
+            workload_factory=lambda: AsdbWorkload(2000, clients=1),
+            engine_factory=lambda w: make_pair()[1],
+            offered_rates=[50.0, 200.0],
+            duration=4.0,
+        )
+        assert len(results) == 2
+        assert results[0].offered_tps == 50.0
+        assert all(r.completed > 0 for r in results)

@@ -1,0 +1,77 @@
+"""Tests for the synthetic data generator."""
+
+import pytest
+
+from repro.engine.schemas import build_tpch, build_tpce
+from repro.errors import WorkloadError
+from repro.workloads.datagen import (
+    ColumnSpec,
+    DataGenerator,
+    default_columns,
+    validate_against_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_gen():
+    return DataGenerator(build_tpch(10), seed=42)
+
+
+class TestDataGenerator:
+    def test_rows_have_all_columns(self, tpch_gen):
+        rows = tpch_gen.sample("supplier", n=3)
+        assert len(rows) == 3
+        expected = {c.name for c in default_columns(
+            tpch_gen.database.table("supplier"))}
+        assert set(rows[0]) == expected
+
+    def test_keys_sequential_across_batches(self, tpch_gen):
+        rows = list(tpch_gen.rows("supplier", limit=25_000, batch_size=10_000))
+        keys = [r["supplier_key"] for r in rows]
+        assert keys == list(range(1, 25_001))
+
+    def test_deterministic_given_seed(self):
+        db = build_tpch(10)
+        a = DataGenerator(db, seed=7).sample("nation", n=5)
+        b = DataGenerator(db, seed=7).sample("nation", n=5)
+        assert a == b
+
+    def test_seed_changes_values(self):
+        db = build_tpch(10)
+        a = DataGenerator(db, seed=1).sample("nation", n=5)
+        b = DataGenerator(db, seed=2).sample("nation", n=5)
+        assert any(x["amount"] != y["amount"] for x, y in zip(a, b))
+
+    def test_limit_respects_cardinality(self, tpch_gen):
+        rows = list(tpch_gen.rows("region", limit=1000))
+        assert len(rows) == 5  # region has 5 rows
+
+    def test_text_width_matches_row_bytes(self, tpch_gen):
+        table = tpch_gen.database.table("customer")
+        spec = next(c for c in default_columns(table) if c.kind == "text")
+        row = tpch_gen.sample("customer", n=1)[0]
+        assert len(row["payload"]) == spec.width_bytes
+
+    def test_fk_values_in_range(self, tpch_gen):
+        table = tpch_gen.database.table("orders")
+        spec = next(c for c in default_columns(table) if c.kind == "fk")
+        rows = tpch_gen.sample("orders", n=500)
+        assert all(1 <= r["fk"] <= spec.fk_cardinality for r in rows)
+
+    def test_unknown_column_kind_rejected(self, tpch_gen):
+        bad = [ColumnSpec(name="x", kind="blob")]
+        with pytest.raises(WorkloadError):
+            list(tpch_gen.rows("nation", limit=1, columns=bad))
+
+    def test_estimated_bytes(self, tpch_gen):
+        table = tpch_gen.database.table("lineitem")
+        assert tpch_gen.estimated_bytes("lineitem") == pytest.approx(
+            table.rows * table.row_bytes
+        )
+
+    def test_validation_report(self):
+        generator = DataGenerator(build_tpce(5000), seed=0)
+        report = validate_against_catalog(generator, "trade", sample_size=500)
+        assert report["keys_unique"]
+        assert report["keys_monotone"]
+        assert report["within_cardinality"]

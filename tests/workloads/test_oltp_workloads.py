@@ -1,0 +1,171 @@
+"""Tests for the OLTP workload machinery and the TPC-E/ASDB/HTAP mixes."""
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import ResourceAllocation
+from repro.engine.engine import SqlEngine
+from repro.engine.locks import WaitType
+from repro.engine.resource_governor import ResourceGovernor
+from repro.errors import WorkloadError
+from repro.hardware.machine import Machine
+from repro.workloads import make_workload
+from repro.workloads.asdb import ASDB_MIX, AsdbWorkload
+from repro.workloads.base import ThroughputTracker
+from repro.workloads.htap import HtapWorkload, htap_queries
+from repro.workloads.oltp import TransactionType, _skewed_slot
+from repro.workloads.tpce import TPCE_MIX, TpceWorkload
+
+
+def engine_for(workload):
+    machine = Machine()
+    ResourceAllocation().apply_to(machine)
+    return SqlEngine(
+        machine, workload.database, workload.execution_characteristics(),
+        governor=ResourceGovernor(), **workload.engine_parameters(),
+    )
+
+
+class TestTransactionType:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            TransactionType(name="x", weight=0.0, instructions=1.0,
+                            page_accesses=0, log_bytes=0, main_table="t")
+
+    def test_mixes_reference_existing_tables(self):
+        tpce_db = TpceWorkload(5000).database
+        for txn in TPCE_MIX:
+            assert txn.main_table in tpce_db.tables, txn.name
+        asdb_db = AsdbWorkload(2000).database
+        for txn in ASDB_MIX:
+            assert txn.main_table in asdb_db.tables, txn.name
+
+    def test_write_transactions_log(self):
+        writers = [t for t in TPCE_MIX if t.log_bytes > 0]
+        readers = [t for t in TPCE_MIX if t.log_bytes == 0]
+        assert writers and readers  # the mix is read/write blended
+
+
+class TestSkewedSlot:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        slots = [_skewed_slot(rng, 10) for _ in range(1000)]
+        assert min(slots) >= 0
+        assert max(slots) <= 9
+
+    def test_bias_toward_low_indexes(self):
+        rng = np.random.default_rng(0)
+        slots = [_skewed_slot(rng, 100) for _ in range(5000)]
+        low = sum(1 for s in slots if s < 20)
+        assert low > 2000  # far more than the uniform 20%
+
+
+class TestScaleDependentContention:
+    def test_lock_slots_grow_with_sf(self):
+        assert TpceWorkload(15000).hot_lock_rows() > TpceWorkload(5000).hot_lock_rows()
+
+    def test_latch_slots_grow_sublinearly(self):
+        small = TpceWorkload(5000).hot_latch_pages()
+        large = TpceWorkload(15000).hot_latch_pages()
+        assert small < large < 3 * small
+
+
+class TestDemandConstruction:
+    def test_fitting_database_rarely_reads(self):
+        workload = TpceWorkload(5000, clients=1)
+        engine = engine_for(workload)
+        rng = np.random.default_rng(1)
+        reads = [
+            workload.build_demand(engine, TPCE_MIX[0], rng).page_reads
+            for _ in range(200)
+        ]
+        # Mostly-resident database: cold reads are rare events.
+        assert sum(reads) < 0.05 * 200 * TPCE_MIX[0].page_accesses
+
+    def test_oversized_database_reads_often(self):
+        workload = TpceWorkload(15000, clients=1)
+        engine = engine_for(workload)
+        rng = np.random.default_rng(1)
+        reads = [
+            workload.build_demand(engine, TPCE_MIX[0], rng).page_reads
+            for _ in range(200)
+        ]
+        assert sum(reads) > 0
+
+    def test_lock_points_follow_probability(self):
+        workload = TpceWorkload(5000, clients=1)
+        engine = engine_for(workload)
+        rng = np.random.default_rng(2)
+        market_feed = next(t for t in TPCE_MIX if t.name == "market_feed")
+        demands = [workload.build_demand(engine, market_feed, rng)
+                   for _ in range(100)]
+        locked = sum(1 for d in demands if d.locks)
+        assert locked > 80  # lock_probability = 0.95
+
+    def test_instruction_budget_varies(self):
+        workload = AsdbWorkload(2000, clients=1)
+        engine = engine_for(workload)
+        rng = np.random.default_rng(3)
+        budgets = {workload.build_demand(engine, ASDB_MIX[0], rng).instructions
+                   for _ in range(10)}
+        assert len(budgets) == 10
+
+
+class TestHtap:
+    def test_composition(self):
+        workload = HtapWorkload(5000)
+        assert workload.clients == 99
+        assert workload.dss_clients == 1
+
+    def test_queries_reference_tpce_schema(self):
+        db = HtapWorkload(5000).database
+        for spec in htap_queries(5000):
+            for ref in spec.tables:
+                assert ref.table in db.tables
+
+    def test_shared_cpu_pool_requested(self):
+        assert HtapWorkload(5000).engine_parameters()["share_cpu_pool"] is True
+
+    def test_qph_metric(self):
+        workload = HtapWorkload(5000)
+        tracker = ThroughputTracker()
+        for _ in range(5):
+            tracker.record("query", 1.0)
+        assert workload.analytics_qph(tracker, elapsed=3600.0) == pytest.approx(5.0)
+
+
+class TestShortRuns:
+    """Miniature end-to-end runs per workload (seconds of simulated time)."""
+
+    @pytest.mark.parametrize("name,sf", [
+        ("asdb", 2000), ("tpce", 5000), ("htap", 5000),
+    ])
+    def test_transactions_complete(self, name, sf):
+        workload = make_workload(name, sf)
+        engine = engine_for(workload)
+        tracker = ThroughputTracker()
+        workload.spawn_clients(engine, tracker, until=2.0)
+        engine.machine.sim.run(until=2.0)
+        assert tracker.count("txn") > 0
+        assert workload.primary_metric(tracker, 2.0) > 0
+
+    def test_tpch_stream_completes_queries(self):
+        workload = make_workload("tpch", 10)
+        engine = engine_for(workload)
+        tracker = ThroughputTracker()
+        workload.spawn_clients(engine, tracker, until=20.0)
+        engine.machine.sim.run(until=20.0)
+        assert tracker.count("query") > 0
+
+    def test_htap_runs_both_components(self):
+        workload = make_workload("htap", 5000)
+        engine = engine_for(workload)
+        tracker = ThroughputTracker()
+        workload.spawn_clients(engine, tracker, until=5.0)
+        engine.machine.sim.run(until=5.0)
+        assert tracker.count("txn") > 0
+        assert tracker.count("query") > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("mysql", 1)

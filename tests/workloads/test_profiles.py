@@ -1,0 +1,101 @@
+"""Tests for the calibrated execution profiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.sqlos import ExecutionCharacteristics
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuModel, ThreadCharacteristics
+from repro.units import MIB
+from repro.workloads.profiles import (
+    ASDB_MRC,
+    HTAP_MRC,
+    TPCE_MRC,
+    TPCH_MRC,
+    build_mrc,
+    execution_profile,
+)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("workload,sf", [
+        ("tpch", 10), ("tpch", 300), ("tpce", 5000), ("asdb", 2000),
+        ("htap", 15000),
+    ])
+    def test_profiles_constructible(self, workload, sf):
+        profile = execution_profile(workload, sf)
+        assert isinstance(profile, ExecutionCharacteristics)
+        assert profile.mrc.mpki(40 * MIB) > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execution_profile("duckdb", 1)
+
+    def test_interpolation_between_scale_factors(self):
+        mid = build_mrc(TPCH_MRC, 65).mpki(40 * MIB)
+        low = build_mrc(TPCH_MRC, 30).mpki(40 * MIB)
+        high = build_mrc(TPCH_MRC, 100).mpki(40 * MIB)
+        assert min(low, high) <= mid <= max(low, high)
+
+    def test_out_of_range_clamps(self):
+        assert build_mrc(TPCH_MRC, 1).mpki(0) == build_mrc(TPCH_MRC, 10).mpki(0)
+        assert build_mrc(TPCH_MRC, 1000).mpki(0) == build_mrc(TPCH_MRC, 300).mpki(0)
+
+    @given(st.sampled_from([10, 30, 100, 300]),
+           st.integers(min_value=0, max_value=40))
+    @settings(max_examples=40)
+    def test_tpch_mpki_monotone_in_allocation(self, sf, mb):
+        mrc = build_mrc(TPCH_MRC, sf)
+        assert mrc.mpki((mb + 2) * MIB) <= mrc.mpki(mb * MIB) + 1e-9
+
+
+class TestCalibrationTargets:
+    """The §4 hyper-threading calibration, checked at the model level."""
+
+    def _smt_multiplier(self, workload, sf):
+        profile = execution_profile(workload, sf)
+        mpki = profile.mrc.mpki(40 * MIB, footprint_scale=1.5)
+        chars = ThreadCharacteristics(
+            cpi_base=profile.cpi_base, mpki=mpki,
+            miss_penalty_cycles=profile.miss_penalty_cycles, mlp=profile.mlp,
+        )
+        return CpuModel().smt.multiplier(chars.memory_stall_fraction())
+
+    def test_asdb_ht_gain_is_modest(self):
+        """§4: ASDB gains 5-6.8% from hyper-threading."""
+        for sf in (2000, 6000):
+            assert 1.02 <= self._smt_multiplier("asdb", sf) <= 1.10
+
+    def test_tpce_ht_gain_is_large(self):
+        """§4: TPC-E gains 16.7-24.2%."""
+        for sf in (5000, 15000):
+            assert 1.12 <= self._smt_multiplier("tpce", sf) <= 1.28
+
+    def test_tpch_small_sf_ht_detrimental(self):
+        """§4: hyper-threading hurts in-memory analytical workloads."""
+        assert self._smt_multiplier("tpch", 10) < 0.85
+
+    def test_tpch_large_sf_ht_beneficial(self):
+        assert self._smt_multiplier("tpch", 300) > 1.1
+
+    def test_tpch_multiplier_monotone_in_sf(self):
+        values = [self._smt_multiplier("tpch", sf) for sf in (10, 30, 100, 300)]
+        assert values == sorted(values)
+
+    def test_analytical_needs_more_cache_than_transactional(self):
+        """Table 4's headline: DSS/HTAP working sets exceed OLTP's."""
+        def cacheable_footprint(table, sf):
+            mrc = build_mrc(table, sf)
+            return sum(
+                c.footprint_bytes for c in mrc.components
+                if c.footprint_bytes != float("inf")
+            )
+        assert cacheable_footprint(TPCH_MRC, 100) > cacheable_footprint(ASDB_MRC, 2000)
+        assert cacheable_footprint(HTAP_MRC, 5000) > cacheable_footprint(TPCE_MRC, 5000)
+
+    def test_tpce_contention_inversion(self):
+        """The coherence-miss inversion that makes TPC-E faster at the
+        larger scale factor (§4)."""
+        small = build_mrc(TPCE_MRC, 5000).mpki(40 * MIB, footprint_scale=1.5)
+        large = build_mrc(TPCE_MRC, 15000).mpki(40 * MIB, footprint_scale=1.5)
+        assert large < small

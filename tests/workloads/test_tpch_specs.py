@@ -1,0 +1,86 @@
+"""Tests for the 22 TPC-H query specs and the stream workload."""
+
+import pytest
+
+from repro.engine.optimizer.queryspec import JoinKind
+from repro.engine.types import WorkloadClass
+from repro.errors import WorkloadError
+from repro.workloads.tpch import TPCH_QUERIES, TpchWorkload, tpch_query
+
+
+class TestSpecs:
+    def test_all_22_queries_exist(self):
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, 10)
+            assert spec.name == f"Q{number}"
+
+    def test_invalid_query_number(self):
+        with pytest.raises(WorkloadError):
+            tpch_query(0, 10)
+        with pytest.raises(WorkloadError):
+            tpch_query(23, 10)
+
+    def test_specs_cached_per_scale_factor(self):
+        assert tpch_query(1, 10) is tpch_query(1, 10)
+        assert tpch_query(1, 10) is not tpch_query(1, 30)
+
+    def test_every_spec_references_catalog_tables(self):
+        from repro.engine.schemas import build_tpch
+        db = build_tpch(10)
+        for number in TPCH_QUERIES:
+            for ref in tpch_query(number, 10).tables:
+                assert ref.table in db.tables, (number, ref.table)
+
+    def test_q1_is_single_table_scan(self):
+        spec = tpch_query(1, 100)
+        assert len(spec.tables) == 1
+        assert not spec.joins
+
+    def test_q13_uses_outer_join(self):
+        spec = tpch_query(13, 100)
+        assert any(e.kind is JoinKind.OUTER for e in spec.joins)
+
+    def test_q16_and_q22_use_anti_joins(self):
+        for number in (16, 22):
+            spec = tpch_query(number, 100)
+            assert any(e.kind is JoinKind.ANTI for e in spec.joins), number
+
+    def test_q20_is_a_semi_join_chain(self):
+        spec = tpch_query(20, 100)
+        semis = [e for e in spec.joins if e.kind is JoinKind.SEMI]
+        assert len(semis) >= 3
+
+    def test_q18_has_the_giant_aggregation(self):
+        """Q18 groups lineitem by orderkey — the largest group count."""
+        groups = {n: tpch_query(n, 100).group_rows for n in TPCH_QUERIES}
+        assert max(groups, key=groups.get) == 18
+
+    def test_sort_sizes_scale_with_sf(self):
+        assert tpch_query(3, 300).sort_rows == 30 * tpch_query(3, 10).sort_rows
+
+    def test_correlated_queries_marked(self):
+        assert tpch_query(17, 10).correlated_passes > 1.0
+        assert tpch_query(2, 10).correlated_passes > 1.0
+
+
+class TestWorkload:
+    def test_database_matches_scale_factor(self):
+        workload = TpchWorkload(scale_factor=30)
+        assert workload.database.scale_factor == 30
+        assert workload.database.workload_class is WorkloadClass.DSS
+
+    def test_streams_validated(self):
+        with pytest.raises(WorkloadError):
+            TpchWorkload(scale_factor=10, streams=0)
+
+    def test_engine_parameters_reserve_grants(self):
+        workload = TpchWorkload(scale_factor=10, streams=3)
+        assert workload.engine_parameters()["concurrent_grant_slots"] == 3
+
+    def test_primary_metric_is_qps(self):
+        from repro.workloads.base import ThroughputTracker
+        workload = TpchWorkload(scale_factor=10)
+        tracker = ThroughputTracker()
+        tracker.record("query", 1.0)
+        tracker.record("query", 2.0)
+        assert workload.primary_metric(tracker, elapsed=10.0) == pytest.approx(0.2)

@@ -1,0 +1,57 @@
+"""Cross-validation of the TPC-H SQL texts against the query specs."""
+
+import pytest
+
+from repro.workloads.tpch import TPCH_QUERIES, tpch_query
+from repro.workloads.tpch_sql import (
+    TPCH_SQL,
+    has_group_by,
+    has_order_by,
+    sql_text,
+    tables_in_sql,
+)
+
+
+class TestSqlCatalog:
+    def test_all_22_texts_present(self):
+        assert sorted(TPCH_SQL) == list(range(1, 23))
+        for number in TPCH_QUERIES:
+            assert "select" in sql_text(number).lower()
+
+    def test_specs_touch_subset_of_sql_tables(self):
+        """Every table a spec references appears in the query's SQL."""
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, 10)
+            spec_tables = {ref.table for ref in spec.tables}
+            sql_tables = tables_in_sql(number)
+            assert spec_tables <= sql_tables, (number, spec_tables - sql_tables)
+
+    def test_group_by_annotations_consistent(self):
+        """Specs with multi-row aggregation correspond to GROUP BY SQL."""
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, 10)
+            if spec.group_rows > 1:
+                assert has_group_by(number), number
+
+    def test_sort_annotations_consistent(self):
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, 10)
+            if spec.sort_rows > 0:
+                assert has_order_by(number), number
+
+    def test_q20_matches_paper_listing(self):
+        """The paper's Listing 1 structure: nested IN-subquery chain over
+        partsupp/part/lineitem with a supplier/nation outer query."""
+        text = sql_text(20).lower()
+        assert text.count("in (") >= 2
+        assert "0.5 * sum(l_quantity)" in text
+        assert tables_in_sql(20) == {
+            "supplier", "nation", "partsupp", "part", "lineitem",
+        }
+
+    def test_correlated_queries_have_subqueries(self):
+        from repro.workloads.tpch_sql import has_correlated_subquery
+        for number in TPCH_QUERIES:
+            spec = tpch_query(number, 10)
+            if spec.correlated_passes > 1.0:
+                assert has_correlated_subquery(number), number
