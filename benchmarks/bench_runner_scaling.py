@@ -1,0 +1,130 @@
+"""Runner scaling bench: serial vs parallel sweeps, cold vs warm cache.
+
+Times a 10-point mixed core sweep (the ASDB core axis plus four TPC-E
+points) through :func:`repro.core.sweeps.run_sweep` at ``jobs`` in
+{1, 2, 4}, then re-runs it against a warm result cache.  Emits one
+machine-readable JSON document (also written to ``BENCH_runner_scaling.json``
+at the repo root) so the perf trajectory of the runner is tracked the
+same way the figure benches track fidelity:
+
+* ``serial_seconds`` / ``parallel_seconds[jobs]`` — cold sweep wall time;
+* ``speedup[jobs]`` — serial/parallel (only meaningful with >1 CPU);
+* ``warm_seconds`` and ``warm_speedup`` — the cache-hit path, which must
+  be at least 10x faster than simulating;
+* ``hit_latency_seconds`` — mean per-entry cache read cost.
+
+Every run is asserted bit-identical to the serial baseline: performance
+must never come at the cost of the paper's numbers.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.core.resultcache import ResultCache
+from repro.core.sweeps import core_sweep, duration_for, run_sweep
+
+JOB_COUNTS = (1, 2, 4)
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def sweep_configs(duration_scale):
+    """Ten independent grid points: 6 ASDB core steps + 4 TPC-E ones."""
+    configs = list(core_sweep("asdb", 2000, duration_scale=duration_scale))
+    tpce_duration = duration_for("tpce", 5000, duration_scale)
+    configs.extend(
+        ExperimentConfig(
+            workload="tpce", scale_factor=5000,
+            allocation=ResourceAllocation(logical_cores=cores),
+            duration=tpce_duration,
+        )
+        for cores in (4, 8, 16, 32)
+    )
+    assert len(configs) == 10
+    return configs
+
+
+def run_scaling_study(duration_scale, cache_dir):
+    configs = sweep_configs(duration_scale)
+
+    timings = {}
+    metrics = {}
+    for jobs in JOB_COUNTS:
+        start = time.perf_counter()
+        measurements = run_sweep(configs, jobs=jobs)
+        timings[jobs] = time.perf_counter() - start
+        metrics[jobs] = [m.primary_metric for m in measurements]
+
+    for jobs in JOB_COUNTS[1:]:
+        assert metrics[jobs] == metrics[1], (
+            f"jobs={jobs} diverged from the serial baseline"
+        )
+
+    cache = ResultCache(cache_dir)
+    start = time.perf_counter()
+    run_sweep(configs, cache=cache)          # cold: simulate + store
+    cold_cached_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_sweep(configs, cache=cache)   # warm: pure disk reads
+    warm_seconds = time.perf_counter() - start
+    assert cache.stats()["hits"] == len(configs)
+    assert [m.primary_metric for m in warm] == metrics[1]
+
+    return {
+        "bench": "runner_scaling",
+        "points": len(configs),
+        "duration_scale": duration_scale,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(timings[1], 4),
+        "parallel_seconds": {
+            str(jobs): round(timings[jobs], 4) for jobs in JOB_COUNTS[1:]
+        },
+        "speedup": {
+            str(jobs): round(timings[1] / timings[jobs], 3)
+            for jobs in JOB_COUNTS[1:]
+        },
+        "cold_cached_seconds": round(cold_cached_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(timings[1] / warm_seconds, 1),
+        "hit_latency_seconds": round(warm_seconds / len(configs), 6),
+    }
+
+
+def check_report(report):
+    """The acceptance bars; parallel speedup needs real CPUs to show."""
+    assert report["warm_speedup"] >= 10.0, (
+        f"warm cache only {report['warm_speedup']}x faster than simulating"
+    )
+    if (report["cpu_count"] or 1) > 1:
+        best = max(report["speedup"].values())
+        assert best > 1.0, f"no parallel speedup on {report['cpu_count']} CPUs"
+
+
+def test_runner_scaling(benchmark, emit, duration_scale, tmp_path):
+    report = benchmark.pedantic(
+        run_scaling_study, args=(duration_scale, tmp_path),
+        rounds=1, iterations=1,
+    )
+    check_report(report)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    (_REPO_ROOT / "BENCH_runner_scaling.json").write_text(payload + "\n")
+    emit("Runner scaling — 10-point sweep, jobs in {1,2,4}, cold vs warm cache",
+         payload)
+
+
+def main():
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        report = run_scaling_study(0.3, cache_dir)
+    check_report(report)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    (_REPO_ROOT / "BENCH_runner_scaling.json").write_text(payload + "\n")
+    print(payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,10 +4,16 @@ Usage::
 
     python -m repro run tpch 100 --cores 16 --llc-mb 12 --duration 300
     python -m repro sweep cores tpch 10
-    python -m repro sweep llc asdb 2000
+    python -m repro sweep llc asdb 2000 --jobs 4 --cache-dir ~/.cache/repro
     python -m repro figure table2
     python -m repro figure fig7
     python -m repro list
+
+``--jobs N`` fans independent experiments over N worker processes
+(results are identical to serial).  ``--cache-dir DIR`` enables the
+content-addressed result cache so re-runs are disk reads;
+``$REPRO_CACHE_DIR`` sets a default directory and ``--no-cache``
+overrides both.
 
 The CLI is a thin veneer over :mod:`repro.core`; anything it prints can
 be produced programmatically from the same functions.
@@ -22,9 +28,53 @@ from typing import List, Optional
 from repro.core.experiment import run_experiment
 from repro.core.knobs import CORE_SWEEP, LLC_SWEEP_MB, ResourceAllocation
 from repro.core.report import format_series, format_table
+from repro.core.resultcache import ResultCache, default_cache_dir
 from repro.core.sweeps import STUDY_MATRIX, core_sweep, duration_for, llc_sweep, run_sweep
 from repro.units import mb_per_s
 from repro.workloads import WORKLOADS
+
+
+def _job_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("job count must be >= 1")
+    return value
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """The runner knobs shared by every multi-experiment command."""
+    parser.add_argument(
+        "--jobs", type=_job_count, default=1, metavar="N",
+        help="worker processes for independent experiments (default: 1, "
+        "in-process; results are identical at any job count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory for the content-addressed result cache "
+        "(default: $REPRO_CACHE_DIR if set, else caching is off)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir or "
+        "$REPRO_CACHE_DIR is set",
+    )
+
+
+def _resolve_cache(args) -> Optional[ResultCache]:
+    """Build the result cache implied by --cache-dir/--no-cache/env."""
+    if getattr(args, "no_cache", False):
+        return None
+    directory = getattr(args, "cache_dir", None) or default_cache_dir()
+    if directory is None:
+        return None
+    return ResultCache(directory)
+
+
+def _print_cache_stats(cache: Optional[ResultCache]) -> None:
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({cache.directory})")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
     sweep.add_argument("scale_factor", type=int)
     sweep.add_argument("--duration-scale", type=float, default=0.5)
+    _add_runner_options(sweep)
 
     figure = sub.add_parser("figure", help="regenerate a paper artifact")
     figure.add_argument(
@@ -59,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("table2", "table3", "fig5", "fig7"),
     )
     figure.add_argument("--duration-scale", type=float, default=0.3)
+    _add_runner_options(figure)
 
     report = sub.add_parser(
         "report", help="run a reduced study and print a calibration report"
@@ -110,7 +162,9 @@ def _cmd_sweep(args) -> int:
                             duration_scale=args.duration_scale)
         xs = list(LLC_SWEEP_MB)
         x_label = "llc_mb"
-    measurements = run_sweep(configs)
+    cache = _resolve_cache(args)
+    measurements = run_sweep(configs, jobs=args.jobs, cache=cache)
+    _print_cache_stats(cache)
     print(format_series(
         x_label, xs,
         {
@@ -125,6 +179,7 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_figure(args) -> int:
     from repro.core import figures
+    cache = _resolve_cache(args)
     if args.name == "table2":
         rows = figures.table2()
         print(format_table(
@@ -134,14 +189,18 @@ def _cmd_figure(args) -> int:
             title="Table 2",
         ))
     elif args.name == "table3":
-        result = figures.table3(duration_scale=args.duration_scale)
+        result = figures.table3(duration_scale=args.duration_scale,
+                                jobs=args.jobs, cache=cache)
+        _print_cache_stats(cache)
         print(format_table(
             ["wait type", "ratio 15000/5000"],
             sorted(result.ratios.items()),
             title="Table 3 (paper: LOCK 0.15, PAGELATCH 0.56, PAGEIOLATCH 74.61)",
         ))
     elif args.name == "fig5":
-        result = figures.fig5_read_limits(duration_scale=args.duration_scale)
+        result = figures.fig5_read_limits(duration_scale=args.duration_scale,
+                                          jobs=args.jobs, cache=cache)
+        _print_cache_stats(cache)
         print(format_series("limit_MB/s", result.limits_mb, {"qps": result.qps},
                             title="Fig 5"))
         print(f"linear-model savings: {result.comparison.savings_fraction:.0%}")

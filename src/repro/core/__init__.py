@@ -22,9 +22,17 @@ from repro.core.knobs import (
     MAXDOP_SWEEP,
     ResourceAllocation,
 )
-from repro.core.colocation import TenantSpec, run_colocated
+from repro.core.colocation import (
+    ColocationScenario,
+    TenantSpec,
+    run_colocated,
+    run_colocated_scenarios,
+)
 from repro.core.measurement import Measurement
+from repro.core.resultcache import ResultCache, calibration_token, config_digest
+from repro.core.runner import run_configs, with_seeds
 from repro.core.sensitivity import SensitivityRow, sensitivity_matrix, spectrum_width
+from repro.core.sweeps import run_sweep
 
 __all__ = [
     "Knee",
@@ -45,8 +53,16 @@ __all__ = [
     "MAXDOP_SWEEP",
     "ResourceAllocation",
     "Measurement",
+    "ColocationScenario",
     "TenantSpec",
     "run_colocated",
+    "run_colocated_scenarios",
+    "ResultCache",
+    "calibration_token",
+    "config_digest",
+    "run_configs",
+    "run_sweep",
+    "with_seeds",
     "SensitivityRow",
     "sensitivity_matrix",
     "spectrum_width",

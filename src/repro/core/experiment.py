@@ -100,7 +100,17 @@ class Experiment:
     ) -> Dict[str, str]:
         """Record the plan shape chosen for each query under this
         allocation — §9 pitfall #6 says analyses must watch for plan
-        changes across resource settings."""
+        changes across resource settings.
+
+        ``tpch_query`` returns the per-scale-factor cached spec objects
+        (the same ones the client streams planned with), and
+        ``engine.optimize`` memoizes on ``(spec, effective DOP)`` — so
+        for every query that ran during the measurement window this loop
+        is a plan-cache hit, not a fresh optimization.  Allocation
+        changes that *can* flip plans (MAXDOP via the governor, cores via
+        the cpuset) land in a different engine instance with its own
+        cache, which is exactly how Fig 7's Q20 flip stays observable.
+        """
         signatures: Dict[str, str] = {}
         if self.config.workload == "tpch":
             for number in TPCH_QUERIES:

@@ -4,6 +4,13 @@ Each function runs the necessary experiments on the simulated testbed and
 returns the table rows / figure series the paper reports.  Benchmarks in
 ``benchmarks/`` wrap these and print them; ``duration_scale`` trades
 precision for speed (tests use small values).
+
+Every experiment-running regenerator accepts ``jobs`` (process-pool
+fan-out; grid points are independent, so parallel results are identical
+to serial) and ``cache`` (a :class:`~repro.core.resultcache.ResultCache`
+making re-runs — and grid points shared between artifacts, like the LLC
+sweep behind Fig 2, Fig 3, and Table 4 — disk reads instead of
+simulations).
 """
 
 from __future__ import annotations
@@ -20,7 +27,8 @@ from repro.core.analysis import (
     sufficient_allocation,
     wait_ratio_table,
 )
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.experiment import ExperimentConfig
+from repro.core.resultcache import ResultCache
 from repro.core.knobs import (
     CORE_SWEEP,
     GRANT_SWEEP_PERCENT,
@@ -107,16 +115,19 @@ class Table3Result:
     )
 
 
-def table3(duration_scale: float = 1.0, seed: int = 0) -> Table3Result:
+def table3(
+    duration_scale: float = 1.0, seed: int = 0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
+) -> Table3Result:
     """Lock/latch wait times for TPC-E at SF=15000 relative to SF=5000."""
-    measurements = {}
-    for sf in (5000, 15000):
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             workload="tpce", scale_factor=sf,
             duration=duration_for("tpce", sf, duration_scale), seed=seed,
         )
-        measurements[sf] = Experiment(config).run()
-    small, large = measurements[5000], measurements[15000]
+        for sf in (5000, 15000)
+    ]
+    small, large = run_sweep(configs, jobs=jobs, cache=cache)
     ratios = wait_ratio_table(small.wait_times, large.wait_times)
     sigma_small = small.lock_latch_pagelatch_total()
     sigma_large = large.lock_latch_pagelatch_total()
@@ -151,24 +162,26 @@ def fig2_cores(
     workload: str, scale_factor: int,
     cores: Tuple[int, ...] = CORE_SWEEP,
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> SweepSeries:
     """Fig 2 (a,d,g,j): average performance vs logical cores, 40 MB LLC."""
     configs = core_sweep(workload, scale_factor, cores=cores,
                          duration_scale=duration_scale)
     return SweepSeries(workload, scale_factor, [float(c) for c in cores],
-                       run_sweep(configs))
+                       run_sweep(configs, jobs=jobs, cache=cache))
 
 
 def fig2_llc(
     workload: str, scale_factor: int,
     sizes_mb: Tuple[int, ...] = LLC_SWEEP_MB,
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> SweepSeries:
     """Fig 2 (b,e,h,k) performance and (c,f,i,l) MPKI vs LLC allocation."""
     configs = llc_sweep(workload, scale_factor, sizes_mb=sizes_mb,
                         duration_scale=duration_scale)
     return SweepSeries(workload, scale_factor, [float(s) for s in sizes_mb],
-                       run_sweep(configs))
+                       run_sweep(configs, jobs=jobs, cache=cache))
 
 
 #: Table 4 values from the paper: {(workload, sf): (mb_90, mb_95)}.
@@ -195,12 +208,14 @@ def table4(
     matrix: Tuple[Tuple[str, int], ...] = STUDY_MATRIX,
     sizes_mb: Tuple[int, ...] = LLC_SWEEP_MB,
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> List[Table4Row]:
     """Sufficient LLC capacity for >=90% / >=95% performance (32 cores)."""
     rows: List[Table4Row] = []
     for workload, sf in matrix:
         series = fig2_llc(workload, sf, sizes_mb=sizes_mb,
-                          duration_scale=duration_scale)
+                          duration_scale=duration_scale,
+                          jobs=jobs, cache=cache)
         paper90, paper95 = TABLE4_PAPER[(workload, sf)]
         rows.append(
             Table4Row(
@@ -232,13 +247,16 @@ class BandwidthPoint:
 def fig3_bandwidths(
     workload: str, scale_factor: int, axis: str = "cores",
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> List[BandwidthPoint]:
     """Fig 3: average SSD and DRAM bandwidths along the core axis
     (``axis='cores'``) or the LLC axis (``axis='llc'``)."""
     if axis == "cores":
-        series = fig2_cores(workload, scale_factor, duration_scale=duration_scale)
+        series = fig2_cores(workload, scale_factor, duration_scale=duration_scale,
+                            jobs=jobs, cache=cache)
     elif axis == "llc":
-        series = fig2_llc(workload, scale_factor, duration_scale=duration_scale)
+        series = fig2_llc(workload, scale_factor, duration_scale=duration_scale,
+                          jobs=jobs, cache=cache)
     else:
         raise ValueError(f"axis must be 'cores' or 'llc', not {axis!r}")
     return [
@@ -258,18 +276,22 @@ def fig4_cdfs(
     matrix: Tuple[Tuple[str, int], ...] = STUDY_MATRIX,
     duration_scale: float = 1.0,
     num_points: int = 50,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> Dict[Tuple[str, int], Dict[str, List[Tuple[float, float]]]]:
     """Fig 4: CDFs of SSD and DRAM bandwidth with full allocations.
 
     Returns, per (workload, sf), the four CDF series in MB/s.
     """
-    result = {}
-    for workload, sf in matrix:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             workload=workload, scale_factor=sf,
             duration=duration_for(workload, sf, duration_scale),
         )
-        m = Experiment(config).run()
+        for workload, sf in matrix
+    ]
+    measurements = run_sweep(configs, jobs=jobs, cache=cache)
+    result = {}
+    for (workload, sf), m in zip(matrix, measurements):
         result[(workload, sf)] = {
             counter: [
                 (to_mb_per_s(value), fraction)
@@ -298,12 +320,13 @@ class Fig5Result:
 def fig5_read_limits(
     limits_mb: Tuple[int, ...] = DEFAULT_READ_LIMITS_MB,
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> Fig5Result:
     """Fig 5: nonlinear TPC-H SF=300 QPS response to read-BW limits."""
     configs = read_bandwidth_sweep(
         [mb_per_s(l) for l in limits_mb], duration_scale=duration_scale
     )
-    measurements = run_sweep(configs)
+    measurements = run_sweep(configs, jobs=jobs, cache=cache)
     qps = [m.primary_metric for m in measurements]
     comparison = linear_response_comparison(
         [float(l) for l in limits_mb], qps, probe_fraction=0.9
@@ -315,18 +338,19 @@ def fig5_read_limits(
 def write_limit_drops(
     limits_mb: Tuple[int, ...] = (100, 50),
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> Dict[int, float]:
     """§6: fractional ASDB TPS drop under write-bandwidth caps
     (paper: 6% at 100 MB/s, 44% at 50 MB/s)."""
-    baseline = run_sweep(write_bandwidth_sweep([None],
-                                               duration_scale=duration_scale))[0]
-    result = {}
-    for limit in limits_mb:
-        capped = run_sweep(
-            write_bandwidth_sweep([mb_per_s(limit)], duration_scale=duration_scale)
-        )[0]
-        result[limit] = 1.0 - capped.primary_metric / baseline.primary_metric
-    return result
+    configs = write_bandwidth_sweep(
+        [None] + [mb_per_s(limit) for limit in limits_mb],
+        duration_scale=duration_scale,
+    )
+    baseline, *capped = run_sweep(configs, jobs=jobs, cache=cache)
+    return {
+        limit: 1.0 - m.primary_metric / baseline.primary_metric
+        for limit, m in zip(limits_mb, capped)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -337,6 +361,7 @@ def fig6_maxdop(
     scale_factor: int,
     maxdops: Tuple[int, ...] = MAXDOP_SWEEP,
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[float]]:
     """Fig 6: per-query speedup at each MAXDOP relative to MAXDOP=32.
 
@@ -345,7 +370,7 @@ def fig6_maxdop(
     """
     configs = maxdop_sweep(scale_factor, maxdops=maxdops,
                            duration_scale=duration_scale)
-    measurements = run_sweep(configs)
+    measurements = run_sweep(configs, jobs=jobs, cache=cache)
     result: Dict[str, List[float]] = {}
     for number in TPCH_QUERIES:
         name = f"Q{number}"
@@ -411,6 +436,7 @@ def fig8_memory_grants(
     scale_factor: int = 100,
     percents: Tuple[float, ...] = GRANT_SWEEP_PERCENT,
     duration_scale: float = 1.0,
+    jobs: int = 1, cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[float]]:
     """Fig 8: per-query execution-time speedup at reduced grant percents
     relative to the default 25% (first entry of *percents*).
@@ -419,7 +445,7 @@ def fig8_memory_grants(
     """
     configs = grant_sweep(scale_factor, percents=percents,
                           duration_scale=duration_scale)
-    measurements = run_sweep(configs)
+    measurements = run_sweep(configs, jobs=jobs, cache=cache)
     result: Dict[str, List[float]] = {}
     for number in TPCH_QUERIES:
         name = f"Q{number}"

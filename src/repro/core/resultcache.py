@@ -1,0 +1,201 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Every figure and table in the paper is a grid of independent
+``(workload, allocation)`` experiments, and several artifacts share grid
+points (the LLC sweep feeds Fig 2, Fig 3, and Table 4; the full-allocation
+runs feed Fig 4 and the sensitivity matrix).  Re-running a figure should
+therefore cost one disk read per already-measured point, not a fresh
+simulation.
+
+The cache key is a SHA-256 digest of a *canonical* rendering of the frozen
+:class:`~repro.core.experiment.ExperimentConfig` — every field, including
+the seed, the machine spec, and workload kwargs — concatenated with a
+calibration token.  The token folds in the package version, the on-disk
+format version, and a digest of every constant in :mod:`repro.calibration`,
+so retuning the model (or changing the storage format) invalidates every
+stale entry automatically instead of silently serving measurements from an
+older model.  Entries are pickled :class:`~repro.core.measurement.Measurement`
+objects, written atomically (temp file + rename) so a crashed or
+concurrent run can never leave a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.measurement import Measurement
+from repro.errors import ConfigurationError
+
+#: Bump when the serialized Measurement layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable consulted for a default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce *value* to JSON-serializable primitives, deterministically.
+
+    Dataclasses become ``[class name, {field: value}]`` so that two
+    different config types can never collide; enums carry their class and
+    member name; floats go through ``repr`` (shortest round-trip form, so
+    equal floats always render identically).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [type(value).__name__, fields]
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.name]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_canonical(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(value, float):
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot build a stable cache key from {type(value).__name__!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical string rendering used for hashing."""
+    return json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def calibration_token() -> str:
+    """A digest of everything that makes measurements comparable.
+
+    Covers the package version, the cache format version, and every
+    module-level constant in :mod:`repro.calibration` (the model's tuned
+    parameters).  Any recalibration changes the token and orphans old
+    entries rather than serving them.
+    """
+    import repro
+    import repro.calibration as calibration
+
+    constants: Dict[str, Any] = {
+        name: getattr(calibration, name)
+        for name in sorted(dir(calibration))
+        if name.isupper()
+    }
+    payload = canonical_json(
+        {
+            "version": repro.__version__,
+            "format": CACHE_FORMAT_VERSION,
+            "calibration": constants,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def config_digest(config: Any, token: str) -> str:
+    """Content address of one experiment config under a calibration token."""
+    payload = f"{token}\n{canonical_json(config)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The cache directory implied by the environment, if any.
+
+    Returns ``$REPRO_CACHE_DIR`` when set, else None — caching is opt-in
+    so that library calls and tests stay hermetic by default.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else None
+
+
+class ResultCache:
+    """A directory of pickled measurements addressed by config digest."""
+
+    def __init__(self, directory: os.PathLike, token: Optional[str] = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.token = token if token is not None else calibration_token()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def digest(self, config: Any) -> str:
+        return config_digest(config, self.token)
+
+    def path_for(self, config: Any) -> Path:
+        return self.directory / f"{self.digest(config)}.pkl"
+
+    def get(self, config: Any) -> Optional[Measurement]:
+        """The cached measurement for *config*, or None.
+
+        Unreadable entries (torn writes from killed processes, format
+        drift pre-dating the token scheme) count as misses and are
+        removed so the slot heals on the next store.
+        """
+        path = self.path_for(config)
+        try:
+            with open(path, "rb") as handle:
+                measurement = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unpickling corrupt bytes can raise almost anything
+            # (UnpicklingError, EOFError, ValueError, AttributeError, ...);
+            # any of them just means the entry is unusable.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurement
+
+    def put(self, config: Any, measurement: Measurement) -> Path:
+        """Store atomically: write a temp file, then rename into place."""
+        path = self.path_for(config)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(measurement, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

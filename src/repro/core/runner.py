@@ -1,0 +1,99 @@
+"""Parallel experiment execution with result-cache integration.
+
+The study is embarrassingly parallel: every
+:class:`~repro.core.experiment.ExperimentConfig` owns its machine, its
+simulator, and its seeded RNG streams, so grid points share no state and
+can run in separate worker processes.  :func:`run_configs` is the single
+entry point the sweep builders, figure regenerators, and CLI all use:
+
+* results come back **in input order** regardless of completion order;
+* ``jobs=1`` (the default) runs in-process — no pool, no pickling, and
+  byte-identical behaviour to the historical serial ``run_sweep``;
+* ``jobs>1`` fans the uncached configs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; determinism is
+  preserved because each config carries its own seed and workers share
+  nothing (the determinism tests assert bit-identical metrics);
+* a :class:`~repro.core.resultcache.ResultCache` short-circuits configs
+  measured before, and freshly-computed measurements are stored back.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.measurement import Measurement
+from repro.core.resultcache import ResultCache
+from repro.errors import ConfigurationError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def run_one(config: ExperimentConfig) -> Measurement:
+    """Execute one config.  Module-level so process pools can pickle it."""
+    return Experiment(config).run()
+
+
+def map_ordered(
+    fn: Callable[[_T], _R], items: Sequence[_T], jobs: int = 1
+) -> List[_R]:
+    """Apply *fn* to every item, preserving input order in the output.
+
+    With ``jobs=1`` (or one item) this is a plain in-process loop; with
+    more, items are distributed over a process pool with ``chunksize=1``
+    so long and short experiments interleave instead of convoying.  The
+    first worker exception propagates, matching the serial behaviour.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=1))
+
+
+def run_configs(
+    configs: Sequence[ExperimentConfig],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Measurement]:
+    """Run every config, in order, through the cache and the worker pool."""
+    configs = list(configs)
+    results: List[Optional[Measurement]] = [None] * len(configs)
+    pending: List[int] = []
+    if cache is not None:
+        for index, config in enumerate(configs):
+            hit = cache.get(config)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(configs)))
+
+    fresh = map_ordered(run_one, [configs[i] for i in pending], jobs=jobs)
+    for index, measurement in zip(pending, fresh):
+        results[index] = measurement
+        if cache is not None:
+            cache.put(configs[index], measurement)
+    return results  # type: ignore[return-value]
+
+
+def with_seeds(
+    configs: Sequence[ExperimentConfig], base_seed: int = 0, stride: int = 1
+) -> List[ExperimentConfig]:
+    """Derive per-config seeds deterministically: ``base_seed + i*stride``.
+
+    Replicated sweeps (same grid, different seeds) need every point to
+    carry its own seed *before* dispatch — seeding inside workers would
+    tie results to scheduling order.  The seed is part of the cache key,
+    so each replicate caches independently.
+    """
+    return [
+        replace(config, seed=base_seed + index * stride)
+        for index, config in enumerate(configs)
+    ]

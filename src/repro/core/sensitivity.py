@@ -21,11 +21,12 @@ engine would precompute per tenant (§1's motivation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.experiment import ExperimentConfig
 from repro.core.knobs import ResourceAllocation
-from repro.core.sweeps import STUDY_MATRIX, duration_for
+from repro.core.resultcache import ResultCache
+from repro.core.sweeps import STUDY_MATRIX, duration_for, run_sweep
 from repro.units import mb_per_s
 
 #: The stress allocation per resource axis.
@@ -67,24 +68,35 @@ def sensitivity_matrix(
     matrix: Tuple[Tuple[str, int], ...] = STUDY_MATRIX,
     duration_scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[SensitivityRow]:
-    """Compute the full workload x resource sensitivity matrix."""
-    rows: List[SensitivityRow] = []
+    """Compute the full workload x resource sensitivity matrix.
+
+    The grid — one baseline plus one stressed run per resource, for
+    every (workload, SF) — is flattened into a single sweep so it can
+    fan out over ``jobs`` workers and reuse cached grid points (the
+    baselines are the same full-allocation runs Fig 4 measures).
+    """
+    configs: List[ExperimentConfig] = []
     for workload, sf in matrix:
         duration = duration_for(workload, sf, duration_scale)
-        baseline = Experiment(
+        configs.append(ExperimentConfig(workload=workload, scale_factor=sf,
+                                        duration=duration, seed=seed))
+        configs.extend(
             ExperimentConfig(workload=workload, scale_factor=sf,
-                             duration=duration, seed=seed)
-        ).run().primary_metric
-        indices: Dict[str, float] = {}
-        for resource, allocation in STRESS_ALLOCATIONS.items():
-            stressed = Experiment(
-                ExperimentConfig(
-                    workload=workload, scale_factor=sf,
-                    allocation=allocation, duration=duration, seed=seed,
-                )
-            ).run().primary_metric
-            indices[resource] = sensitivity_index(baseline, stressed)
+                             allocation=allocation, duration=duration, seed=seed)
+            for allocation in STRESS_ALLOCATIONS.values()
+        )
+    measurements = iter(run_sweep(configs, jobs=jobs, cache=cache))
+
+    rows: List[SensitivityRow] = []
+    for workload, sf in matrix:
+        baseline = next(measurements).primary_metric
+        indices: Dict[str, float] = {
+            resource: sensitivity_index(baseline, next(measurements).primary_metric)
+            for resource in STRESS_ALLOCATIONS
+        }
         rows.append(SensitivityRow(workload=workload, scale_factor=sf,
                                    baseline=baseline, indices=indices))
     return rows

@@ -2,15 +2,16 @@
 
 A sweep is a list of :class:`~repro.core.experiment.ExperimentConfig`
 sharing a workload and varying exactly one resource axis, mirroring the
-paper's methodology (§4-§8).  ``run_sweep`` executes them and returns the
-measurements in order.
+paper's methodology (§4-§8).  ``run_sweep`` executes them — optionally in
+parallel and through the on-disk result cache (see
+:mod:`repro.core.runner`) — and returns the measurements in order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.experiment import ExperimentConfig
 from repro.core.knobs import (
     CORE_SWEEP,
     GRANT_SWEEP_PERCENT,
@@ -19,6 +20,9 @@ from repro.core.knobs import (
     ResourceAllocation,
 )
 from repro.core.measurement import Measurement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner uses sweeps' types)
+    from repro.core.resultcache import ResultCache
 
 #: All (workload, scale factor) pairs of the study (Table 2).
 STUDY_MATRIX: Tuple[Tuple[str, int], ...] = (
@@ -180,6 +184,20 @@ def grant_sweep(
     ]
 
 
-def run_sweep(configs: Sequence[ExperimentConfig]) -> List[Measurement]:
-    """Execute a sweep serially and return measurements in order."""
-    return [Experiment(config).run() for config in configs]
+def run_sweep(
+    configs: Sequence[ExperimentConfig],
+    jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+) -> List[Measurement]:
+    """Execute a sweep and return measurements in input order.
+
+    ``jobs`` controls process-pool fan-out (1 = in-process, the
+    historical serial path); ``cache`` is an optional
+    :class:`~repro.core.resultcache.ResultCache` that short-circuits
+    previously-measured grid points.  Parallel execution is exact, not
+    approximate: every config carries its own seed and machine, so
+    ``jobs=4`` returns bit-identical measurements to ``jobs=1``.
+    """
+    from repro.core.runner import run_configs
+
+    return run_configs(configs, jobs=jobs, cache=cache)

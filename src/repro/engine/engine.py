@@ -20,6 +20,7 @@ from repro.engine.memory_grants import MemoryGrant, QueryMemoryPool
 from repro.engine.optimizer.cost_model import CostModel
 from repro.engine.optimizer.optimizer import OptimizedQuery, Optimizer, PlanningContext
 from repro.engine.optimizer.queryspec import QuerySpec
+from repro.engine.plancache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from repro.engine.resource_governor import ResourceGovernor
 from repro.engine.sqlos import ExecutionCharacteristics, SqlOs
 from repro.engine.wal import WriteAheadLog
@@ -42,6 +43,7 @@ class SqlEngine:
         share_cpu_pool: bool = False,
         cost_model: Optional[CostModel] = None,
         search_strategy: str = "greedy",
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ):
         self.machine = machine
         self.database = database
@@ -83,13 +85,30 @@ class SqlEngine:
             search_strategy=search_strategy,
         )
         self.optimizer = Optimizer(self._planning)
+        self.plan_cache = PlanCache(maxsize=plan_cache_size)
 
     # -- planning and admission ----------------------------------------------------
 
     def optimize(self, spec: QuerySpec, dop_hint: int = 0) -> OptimizedQuery:
-        """Optimize under the governor's DOP cap and the current cpuset."""
+        """Optimize under the governor's DOP cap and the current cpuset.
+
+        Results are memoized in an LRU plan cache.  Within one engine the
+        plan is fully determined by the spec (which encodes query name
+        and scale factor) and the effective DOP; everything else that
+        could change it — the database, buffer-pool residency, the
+        governor's MAXDOP and grant percentage — is frozen at engine
+        construction, so a hit is exact.  Plans are immutable
+        (:class:`OptimizedQuery` and every ``PlanNode`` are frozen
+        dataclasses), making the shared object safe to execute repeatedly.
+        """
         dop = self.governor.effective_dop(len(self.machine.cpuset), hint=dop_hint)
-        return self.optimizer.optimize(spec, max_dop=dop)
+        key = (spec, dop)
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return cached
+        optimized = self.optimizer.optimize(spec, max_dop=dop)
+        self.plan_cache.put(key, optimized)
+        return optimized
 
     def admit(self, optimized: OptimizedQuery) -> MemoryGrant:
         return self.memory_pool.admit(optimized.required_memory_bytes)

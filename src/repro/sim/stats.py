@@ -138,6 +138,17 @@ class Cdf:
             self._samples.sort()
             self._dirty = False
 
+    def __getstate__(self) -> dict:
+        # Pickle the canonical (sorted) form: measurements that cross
+        # process-pool or result-cache boundaries serialize identically
+        # no matter what order samples arrived in.
+        self._ensure_sorted()
+        return {"samples": self._samples}
+
+    def __setstate__(self, state: dict) -> None:
+        self._samples = list(state["samples"])
+        self._dirty = False
+
     def __len__(self) -> int:
         return len(self._samples)
 

@@ -1,0 +1,155 @@
+"""Tests for the content-addressed result cache: canonical hashing,
+calibration tokens, atomic storage, and corruption healing."""
+
+import pickle
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.knobs import ResourceAllocation
+from repro.core.resultcache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    calibration_token,
+    canonical_json,
+    config_digest,
+    default_cache_dir,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.machine import MachineSpec
+from repro.units import mb_per_s
+
+
+def make_config(**overrides):
+    base = dict(workload="asdb", scale_factor=2000, duration=3.0, seed=0)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestCanonicalJson:
+    def test_stable_across_calls(self):
+        config = make_config()
+        assert canonical_json(config) == canonical_json(config)
+
+    def test_equal_configs_render_identically(self):
+        assert canonical_json(make_config()) == canonical_json(make_config())
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_nested_allocation_included(self):
+        with_limit = make_config(
+            allocation=ResourceAllocation(read_bw_limit=mb_per_s(200)))
+        assert canonical_json(with_limit) != canonical_json(make_config())
+
+    def test_machine_spec_included(self):
+        other = make_config(machine_spec=MachineSpec(smt=1))
+        assert canonical_json(other) != canonical_json(make_config())
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json(object())
+
+
+class TestDigests:
+    def test_digest_diversity(self):
+        token = "t"
+        variants = [
+            make_config(),
+            make_config(seed=1),
+            make_config(duration=4.0),
+            make_config(workload="tpce", scale_factor=5000),
+            make_config(allocation=ResourceAllocation(logical_cores=4)),
+            make_config(machine_spec=MachineSpec(cores_per_socket=16)),
+            make_config(workload_kwargs={"streams": 1}),
+        ]
+        digests = {config_digest(v, token) for v in variants}
+        assert len(digests) == len(variants)
+
+    def test_token_is_part_of_the_address(self):
+        config = make_config()
+        assert config_digest(config, "a") != config_digest(config, "b")
+
+    def test_calibration_token_is_stable(self):
+        assert calibration_token() == calibration_token()
+        assert len(calibration_token()) == 16
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        assert cache.get(config) is None
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        cache.put(config, measurement)
+        hit = cache.get(config)
+        assert hit is not None
+        assert hit.primary_metric == measurement.primary_metric
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        path = cache.put(config, measurement)
+        path.write_bytes(b"torn write from a killed process")
+        assert cache.get(config) is None
+        assert not path.exists()
+        cache.put(config, measurement)
+        assert cache.get(config).primary_metric == measurement.primary_metric
+
+    @pytest.mark.parametrize("junk", [
+        b"garbage\n",                      # raises ValueError inside pickle
+        b"\x80\x05garbage",                # truncated frame, UnpicklingError
+        b"",                               # empty file, EOFError
+    ])
+    def test_any_undecodable_entry_is_a_miss(self, tmp_path, junk):
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        path = cache.put(config, run_experiment("asdb", 2000, duration=3.0))
+        path.write_bytes(junk)
+        assert cache.get(config) is None
+        assert not path.exists()
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        path = cache.put(config, run_experiment("asdb", 2000, duration=3.0))
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        assert cache.get(config) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        for seed in range(3):
+            cache.put(make_config(seed=seed), measurement)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_no_temp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_config(), run_experiment("asdb", 2000, duration=3.0))
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_entries_survive_a_new_cache_object(self, tmp_path):
+        first = ResultCache(tmp_path)
+        config = make_config()
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        first.put(config, measurement)
+        second = ResultCache(tmp_path)
+        assert second.get(config).primary_metric == measurement.primary_metric
+
+
+class TestDefaultCacheDir:
+    def test_unset_means_no_caching(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir() is None
+
+    def test_env_sets_the_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert default_cache_dir() == tmp_path

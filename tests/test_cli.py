@@ -52,6 +52,37 @@ def test_figure_fig7(capsys):
     assert "Fig 7a" in out and "Fig 7b" in out
 
 
+def test_sweep_with_jobs_and_cache(capsys, tmp_path):
+    argv = ["sweep", "cores", "asdb", "2000", "--duration-scale", "0.1",
+            "--jobs", "2", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache: 0 hits, 6 misses" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache: 6 hits, 0 misses" in warm
+    # identical numbers either way — the cache serves, never distorts
+    assert warm.splitlines()[1:] == cold.splitlines()[1:]
+
+
+def test_sweep_no_cache_overrides_env(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code = main(["sweep", "cores", "asdb", "2000",
+                 "--duration-scale", "0.1", "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cache:" not in out
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_figure_table3_accepts_runner_flags(capsys, tmp_path):
+    code = main(["figure", "table3", "--duration-scale", "0.1",
+                 "--jobs", "2", "--cache-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out and "cache:" in out
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["run", "oracle", "1"])
