@@ -5,6 +5,8 @@ Usage::
     python -m repro run tpch 100 --cores 16 --llc-mb 12 --duration 300
     python -m repro sweep cores tpch 10
     python -m repro sweep llc asdb 2000 --jobs 4 --cache-dir ~/.cache/repro
+    python -m repro sweep cores tpce 5000 --timeout 600 --on-error collect
+    python -m repro faults --cache-dir /tmp/faults-demo
     python -m repro figure table2
     python -m repro figure fig7
     python -m repro list
@@ -29,7 +31,14 @@ from repro.core.experiment import run_experiment
 from repro.core.knobs import CORE_SWEEP, LLC_SWEEP_MB, ResourceAllocation
 from repro.core.report import format_series, format_table
 from repro.core.resultcache import ResultCache, default_cache_dir
-from repro.core.sweeps import STUDY_MATRIX, core_sweep, duration_for, llc_sweep, run_sweep
+from repro.core.sweeps import (
+    STUDY_MATRIX,
+    core_sweep,
+    duration_for,
+    llc_sweep,
+    run_sweep,
+    run_sweep_report,
+)
 from repro.units import mb_per_s
 from repro.workloads import WORKLOADS
 
@@ -57,6 +66,36 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the result cache even if --cache-dir or "
         "$REPRO_CACHE_DIR is set",
+    )
+
+
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    """Supervisor knobs for commands that run many experiments."""
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget; a timed-out attempt kills "
+        "and rebuilds the worker pool (default: unlimited)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts after a crashed worker, with exponential "
+        "backoff (default: 2; deterministic errors are never retried)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "collect"), default="raise",
+        help="what to do when a grid point exhausts its attempts: abort "
+        "the sweep (raise), or keep going and report the holes "
+        "(skip/collect; collect returns structured failure records)",
+    )
+
+
+def _resolve_policy(args):
+    from repro.core.runner import SupervisionPolicy
+
+    return SupervisionPolicy(
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 2),
+        on_error=getattr(args, "on_error", "raise"),
     )
 
 
@@ -103,6 +142,25 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("scale_factor", type=int)
     sweep.add_argument("--duration-scale", type=float, default=0.5)
     _add_runner_options(sweep)
+    _add_supervision_options(sweep)
+
+    faults = sub.add_parser(
+        "faults",
+        help="demonstrate fault injection and supervised recovery",
+        description="Runs a small ASDB grid where every point carries a "
+        "different injected fault (storage brownout, transient write "
+        "errors, crash/recover, worker crash, worker stall) under the "
+        "supervised runner.  With --cache-dir, a second invocation "
+        "resumes from the journal and re-runs only the failed points.",
+    )
+    faults.add_argument("--duration", type=float, default=1.0,
+                        help="simulated seconds per grid point (default: 1)")
+    faults.add_argument("--stall-seconds", type=float, default=120.0,
+                        help="wall-clock sleep of the stalled worker "
+                        "(default: 120; must exceed --timeout)")
+    _add_runner_options(faults)
+    _add_supervision_options(faults)
+    faults.set_defaults(jobs=2, timeout=60.0, on_error="collect")
 
     figure = sub.add_parser("figure", help="regenerate a paper artifact")
     figure.add_argument(
@@ -163,7 +221,18 @@ def _cmd_sweep(args) -> int:
         xs = list(LLC_SWEEP_MB)
         x_label = "llc_mb"
     cache = _resolve_cache(args)
-    measurements = run_sweep(configs, jobs=args.jobs, cache=cache)
+    policy = _resolve_policy(args)
+    if policy.on_error == "raise":
+        measurements = run_sweep(configs, jobs=args.jobs, cache=cache,
+                                 policy=policy)
+    else:
+        report = run_sweep_report(configs, jobs=args.jobs, cache=cache,
+                                  policy=policy)
+        xs = [x for x, m in zip(xs, report.measurements) if m is not None]
+        measurements = report.successes()
+        for failure in report.failures:
+            print(f"failure: {failure.describe()}")
+        print(f"sweep: {report.summary()}")
     _print_cache_stats(cache)
     print(format_series(
         x_label, xs,
@@ -174,6 +243,65 @@ def _cmd_sweep(args) -> int:
         },
         title=f"{args.workload} SF={args.scale_factor}: {args.axis} sweep",
     ))
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    """Fault-injection demo: one grid, five failure modes, one report.
+
+    Output is line-oriented and greppable on purpose — the CI fault
+    matrix asserts on ``sweep-complete:`` and ``resumed:`` markers.
+    """
+    from repro.core.experiment import ExperimentConfig
+    from repro.core.runner import run_supervised
+    from repro.faults import (
+        CrashPoint,
+        StorageBrownout,
+        TransientWriteErrors,
+        WorkerCrash,
+        WorkerStall,
+    )
+
+    d = args.duration
+    # At the default jobs=2 the worker crash breaks the pool in the very
+    # first pair, exercising quarantine + rebuild up front; the stall runs
+    # last so every other point is already measured when its timeout hits.
+    grid = [
+        ("worker-crash", (WorkerCrash(attempts=1),)),
+        ("clean", ()),
+        ("brownout", (StorageBrownout(start=0.25 * d, duration=0.5 * d,
+                                      write_factor=0.01),)),
+        ("io-errors", (TransientWriteErrors(start=0.25 * d, duration=0.25 * d),)),
+        ("crash-recover", (CrashPoint(at=0.5 * d),)),
+        ("worker-stall", (WorkerStall(seconds=args.stall_seconds, attempts=1),)),
+    ]
+    configs = [
+        ExperimentConfig(workload="asdb", scale_factor=2000, duration=d,
+                         seed=seed, faults=faults)
+        for seed, (_, faults) in enumerate(grid)
+    ]
+    cache = _resolve_cache(args)
+    policy = _resolve_policy(args)
+    report = run_supervised(configs, jobs=args.jobs, cache=cache, policy=policy)
+    resumed = cache is not None and report.cache_hits > 0
+    print(f"supervision: {report.summary()}")
+    for failure in report.failures:
+        print(f"failure: {failure.describe()}")
+    for (label, _), measurement in zip(grid, report.measurements):
+        if measurement is None:
+            print(f"point {label}: no measurement")
+            continue
+        line = f"point {label}: tps={measurement.primary_metric:.2f}"
+        summary = measurement.fault_summary
+        if summary:
+            line += (f" wal_retries={summary['wal_flush_retries']:.0f}"
+                     f" recoveries={summary['crash_recoveries']:.0f}"
+                     f" io_faults={summary['write_faults_injected']:.0f}")
+        print(line)
+    _print_cache_stats(cache)
+    if resumed:
+        print(f"resumed: {report.cache_hits} points served from cache")
+    print(f"sweep-complete: {len(report.successes())}/{len(configs)}")
     return 0
 
 
@@ -269,6 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "faults": _cmd_faults,
         "figure": _cmd_figure,
         "report": _cmd_report,
         "list": _cmd_list,

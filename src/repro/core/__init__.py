@@ -28,11 +28,19 @@ from repro.core.colocation import (
     run_colocated,
     run_colocated_scenarios,
 )
+from repro.core.journal import SweepJournal
 from repro.core.measurement import Measurement
 from repro.core.resultcache import ResultCache, calibration_token, config_digest
-from repro.core.runner import run_configs, with_seeds
+from repro.core.runner import (
+    FailedMeasurement,
+    SupervisionPolicy,
+    SweepReport,
+    run_configs,
+    run_supervised,
+    with_seeds,
+)
 from repro.core.sensitivity import SensitivityRow, sensitivity_matrix, spectrum_width
-from repro.core.sweeps import run_sweep
+from repro.core.sweeps import run_sweep, run_sweep_report
 
 __all__ = [
     "Knee",
@@ -61,8 +69,14 @@ __all__ = [
     "calibration_token",
     "config_digest",
     "run_configs",
+    "run_supervised",
     "run_sweep",
+    "run_sweep_report",
     "with_seeds",
+    "FailedMeasurement",
+    "SupervisionPolicy",
+    "SweepJournal",
+    "SweepReport",
     "SensitivityRow",
     "sensitivity_matrix",
     "spectrum_width",

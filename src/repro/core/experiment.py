@@ -10,7 +10,7 @@ and plan signatures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.calibration import DEFAULT_MEASUREMENT_SECONDS
 from repro.core.knobs import ResourceAllocation
@@ -18,6 +18,7 @@ from repro.core.measurement import Measurement
 from repro.engine.engine import SqlEngine
 from repro.engine.locks import WaitType
 from repro.engine.resource_governor import ResourceGovernor
+from repro.faults.spec import FaultSpec, simulation_faults
 from repro.hardware.counters import CounterSampler
 from repro.hardware.machine import Machine, MachineSpec
 from repro.workloads import make_workload
@@ -28,7 +29,15 @@ from repro.workloads.tpch import TPCH_QUERIES, tpch_query
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """A fully-specified experiment."""
+    """A fully-specified experiment.
+
+    ``faults`` is a tuple of :class:`~repro.faults.spec.FaultSpec`:
+    simulation-level specs are injected into the run by a
+    :class:`~repro.faults.injector.FaultInjector`; harness-level specs
+    (worker crash/stall) are interpreted by the supervised sweep runner.
+    Faults are part of the config — and therefore of the result-cache
+    key — so a faulted run never aliases a fault-free one.
+    """
 
     workload: str
     scale_factor: int
@@ -37,6 +46,7 @@ class ExperimentConfig:
     seed: int = 0
     machine_spec: MachineSpec = MachineSpec()
     workload_kwargs: Dict = field(default_factory=dict)
+    faults: Tuple[FaultSpec, ...] = ()
 
 
 class Experiment:
@@ -70,6 +80,13 @@ class Experiment:
         )
         machine = self._build_machine()
         engine = self._build_engine(machine, workload)
+        injector = None
+        sim_faults = simulation_faults(config.faults)
+        if sim_faults:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(machine, engine, faults=sim_faults)
+            injector.install()
         tracker = ThroughputTracker()
         sampler = CounterSampler(machine.sim, engine)
         workload.spawn_clients(engine, tracker, until=config.duration)
@@ -93,6 +110,7 @@ class Experiment:
             secondary_metric=secondary,
             smt_multiplier=engine.sqlos.smt_multiplier,
             mpki_model=engine.sqlos.mpki,
+            fault_summary=injector.summary() if injector is not None else None,
         )
 
     def _collect_plan_signatures(
@@ -126,6 +144,7 @@ def run_experiment(
     allocation: Optional[ResourceAllocation] = None,
     duration: float = DEFAULT_MEASUREMENT_SECONDS,
     seed: int = 0,
+    faults: Tuple[FaultSpec, ...] = (),
     **workload_kwargs,
 ) -> Measurement:
     """Convenience wrapper: run one experiment and return its measurement."""
@@ -136,5 +155,6 @@ def run_experiment(
         duration=duration,
         seed=seed,
         workload_kwargs=dict(workload_kwargs),
+        faults=tuple(faults),
     )
     return Experiment(config).run()

@@ -29,6 +29,7 @@ from repro.core.analysis import (
 )
 from repro.core.experiment import ExperimentConfig
 from repro.core.resultcache import ResultCache
+from repro.core.runner import SupervisionPolicy
 from repro.core.knobs import (
     CORE_SWEEP,
     GRANT_SWEEP_PERCENT,
@@ -46,6 +47,7 @@ from repro.core.sweeps import (
     maxdop_sweep,
     read_bandwidth_sweep,
     run_sweep,
+    run_sweep_report,
     write_bandwidth_sweep,
 )
 from repro.engine.locks import WaitType
@@ -158,17 +160,49 @@ class SweepSeries:
         return [m.mpki_model for m in self.measurements]
 
 
+def _sweep_series(
+    workload: str, scale_factor: int,
+    configs, xs: List[float],
+    jobs: int, cache: Optional[ResultCache],
+    policy: Optional["SupervisionPolicy"],
+) -> SweepSeries:
+    """Run one panel's grid, tolerating holes when the policy allows them.
+
+    Without a policy (or with ``on_error="raise"``) this is the dense
+    fail-fast path.  Under ``"skip"``/``"collect"`` a failed grid point
+    is *dropped from the series* — x and measurement together, so the
+    panel stays plottable — with a warning naming what's missing."""
+    if policy is None or policy.on_error == "raise":
+        return SweepSeries(workload, scale_factor, list(xs),
+                           run_sweep(configs, jobs=jobs, cache=cache,
+                                     policy=policy))
+    report = run_sweep_report(configs, jobs=jobs, cache=cache, policy=policy)
+    kept_xs: List[float] = []
+    kept: List[Measurement] = []
+    for x, measurement in zip(xs, report.measurements):
+        if measurement is None:
+            warnings.warn(
+                f"{workload} sf={scale_factor}: dropping grid point x={x} "
+                f"({len(report.failures)} failure(s) in sweep)"
+            )
+        else:
+            kept_xs.append(x)
+            kept.append(measurement)
+    return SweepSeries(workload, scale_factor, kept_xs, kept)
+
+
 def fig2_cores(
     workload: str, scale_factor: int,
     cores: Tuple[int, ...] = CORE_SWEEP,
     duration_scale: float = 1.0,
     jobs: int = 1, cache: Optional[ResultCache] = None,
+    policy: Optional["SupervisionPolicy"] = None,
 ) -> SweepSeries:
     """Fig 2 (a,d,g,j): average performance vs logical cores, 40 MB LLC."""
     configs = core_sweep(workload, scale_factor, cores=cores,
                          duration_scale=duration_scale)
-    return SweepSeries(workload, scale_factor, [float(c) for c in cores],
-                       run_sweep(configs, jobs=jobs, cache=cache))
+    return _sweep_series(workload, scale_factor, configs,
+                         [float(c) for c in cores], jobs, cache, policy)
 
 
 def fig2_llc(
@@ -176,12 +210,13 @@ def fig2_llc(
     sizes_mb: Tuple[int, ...] = LLC_SWEEP_MB,
     duration_scale: float = 1.0,
     jobs: int = 1, cache: Optional[ResultCache] = None,
+    policy: Optional["SupervisionPolicy"] = None,
 ) -> SweepSeries:
     """Fig 2 (b,e,h,k) performance and (c,f,i,l) MPKI vs LLC allocation."""
     configs = llc_sweep(workload, scale_factor, sizes_mb=sizes_mb,
                         duration_scale=duration_scale)
-    return SweepSeries(workload, scale_factor, [float(s) for s in sizes_mb],
-                       run_sweep(configs, jobs=jobs, cache=cache))
+    return _sweep_series(workload, scale_factor, configs,
+                         [float(s) for s in sizes_mb], jobs, cache, policy)
 
 
 #: Table 4 values from the paper: {(workload, sf): (mb_90, mb_95)}.

@@ -1,0 +1,119 @@
+"""Append-only sweep journal: what happened to every grid point.
+
+The :class:`~repro.core.resultcache.ResultCache` is the resume mechanism
+for *successes* — a re-run of a partially completed sweep short-circuits
+every cached point.  The journal covers the other half: it records every
+attempt (ok / crash / timeout / error) keyed by config digest, so a
+resumed sweep
+
+* knows how many attempts a config has already burned (attempt numbering
+  is global across invocations — a fault spec that crashes the first
+  attempt fails once, ever, not once per invocation), and
+* can report *why* the holes in a previous run's grid exist.
+
+The format is JSON-lines, append-only, and tolerant of torn tails (a
+killed run may leave a partial last line; it is skipped on load).  One
+journal serves one sweep campaign; by default the supervised runner
+places it next to the result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+log = logging.getLogger(__name__)
+
+#: Attempt outcomes recorded in the journal.
+STATUS_OK = "ok"
+STATUS_CRASH = "crash"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+_FAILURE_STATUSES = (STATUS_CRASH, STATUS_TIMEOUT, STATUS_ERROR)
+
+
+class SweepJournal:
+    """JSONL journal of per-config attempts, keyed by config digest."""
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+        self._entries: List[Dict] = []
+        self._by_digest: Dict[str, List[Dict]] = defaultdict(list)
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            log.warning("sweep journal %s unreadable (%s); starting empty",
+                        self.path, exc)
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # Torn tail from a killed writer — ignore and move on.
+                continue
+            if isinstance(entry, dict) and "digest" in entry:
+                self._remember(entry)
+
+    def _remember(self, entry: Dict) -> None:
+        self._entries.append(entry)
+        self._by_digest[entry["digest"]].append(entry)
+
+    def record(
+        self,
+        digest: str,
+        status: str,
+        attempt: int,
+        index: int = -1,
+        error: Optional[str] = None,
+    ) -> None:
+        """Append one attempt record and flush it to disk.
+
+        Journal IO must never fail a sweep: disk errors degrade to a
+        logged warning (the in-memory view stays consistent).
+        """
+        entry: Dict = {"digest": digest, "status": status, "attempt": attempt,
+                       "index": index}
+        if error:
+            entry["error"] = error
+        self._remember(entry)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError as exc:
+            log.warning("could not append to sweep journal %s: %s",
+                        self.path, exc)
+
+    # -- queries ---------------------------------------------------------------
+
+    def entries(self, digest: str) -> Iterator[Dict]:
+        return iter(self._by_digest.get(digest, ()))
+
+    def attempts(self, digest: str) -> int:
+        """Failed attempts burned so far (seeds resumed attempt numbering)."""
+        return sum(1 for e in self._by_digest.get(digest, ())
+                   if e["status"] in _FAILURE_STATUSES)
+
+    def last_status(self, digest: str) -> Optional[str]:
+        history = self._by_digest.get(digest)
+        return history[-1]["status"] if history else None
+
+    def failed_digests(self) -> List[str]:
+        """Digests whose most recent attempt failed."""
+        return [digest for digest, history in self._by_digest.items()
+                if history[-1]["status"] in _FAILURE_STATUSES]
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -41,6 +41,9 @@ class Measurement:
     secondary_metric: Optional[float] = None  # e.g. HTAP analytics QPH
     smt_multiplier: float = 1.0
     mpki_model: float = 0.0
+    #: Fault-injection counters (None for fault-free runs); see
+    #: :meth:`repro.faults.injector.FaultInjector.summary`.
+    fault_summary: Optional[Dict[str, float]] = None
 
     # -- derived observables -------------------------------------------------
 

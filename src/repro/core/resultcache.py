@@ -25,6 +25,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -33,6 +34,8 @@ from typing import Any, Dict, Optional
 
 from repro.core.measurement import Measurement
 from repro.errors import ConfigurationError
+
+log = logging.getLogger(__name__)
 
 #: Bump when the serialized Measurement layout changes incompatibly.
 CACHE_FORMAT_VERSION = 1
@@ -130,6 +133,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.store_errors = 0
 
     def digest(self, config: Any) -> str:
         return config_digest(config, self.token)
@@ -164,24 +168,48 @@ class ResultCache:
         self.hits += 1
         return measurement
 
-    def put(self, config: Any, measurement: Measurement) -> Path:
-        """Store atomically: write a temp file, then rename into place."""
+    def put(self, config: Any, measurement: Measurement) -> Optional[Path]:
+        """Store atomically: write a temp file, then rename into place.
+
+        The cache is an accelerator, not a durability contract: a disk
+        that fills up or a directory that loses write permission mid-sweep
+        must not throw away the measurement that was just computed.  Any
+        ``OSError`` (ENOSPC, EACCES, read-only remount, ...) degrades to a
+        logged warning and ``None`` — the caller keeps its in-memory
+        result, the sweep keeps going.  Pickling errors still raise: an
+        unpicklable measurement is a programming bug, not an environment
+        hazard.
+        """
         path = self.path_for(config)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".pkl"
-        )
+        tmp_name: Optional[str] = None
         try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            )
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(measurement, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
+        except OSError as exc:
+            self._cleanup_tmp(tmp_name)
+            self.store_errors += 1
+            log.warning(
+                "could not store cache entry %s (%s); continuing uncached",
+                path.name, exc,
+            )
+            return None
         except BaseException:
+            self._cleanup_tmp(tmp_name)
+            raise
+        self.stores += 1
+        return path
+
+    @staticmethod
+    def _cleanup_tmp(tmp_name: Optional[str]) -> None:
+        if tmp_name is not None:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
-        self.stores += 1
-        return path
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))
@@ -198,4 +226,9 @@ class ResultCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "store_errors": self.store_errors,
+        }

@@ -1,40 +1,102 @@
-"""Parallel experiment execution with result-cache integration.
+"""Supervised parallel experiment execution with retry, timeouts, and resume.
 
 The study is embarrassingly parallel: every
 :class:`~repro.core.experiment.ExperimentConfig` owns its machine, its
 simulator, and its seeded RNG streams, so grid points share no state and
-can run in separate worker processes.  :func:`run_configs` is the single
-entry point the sweep builders, figure regenerators, and CLI all use:
+can run in separate worker processes.  Historically this module exposed a
+bare ``ProcessPoolExecutor.map``; a single crashed worker (OOM kill,
+segfaulting native library, ``BrokenProcessPool``) or one wedged config
+then lost the *entire* sweep.  The supervised runner replaces that:
 
-* results come back **in input order** regardless of completion order;
-* ``jobs=1`` (the default) runs in-process — no pool, no pickling, and
-  byte-identical behaviour to the historical serial ``run_sweep``;
-* ``jobs>1`` fans the uncached configs out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor`; determinism is
-  preserved because each config carries its own seed and workers share
-  nothing (the determinism tests assert bit-identical metrics);
+* :func:`run_supervised` drives every config through a future-based
+  supervisor with per-experiment wall-clock timeouts, bounded retry with
+  exponential backoff for crashed workers, and an ``on_error`` policy —
+  ``"raise"`` (fail fast), ``"skip"`` / ``"collect"`` (graceful
+  degradation) — returning a :class:`SweepReport` of successes plus
+  structured :class:`FailedMeasurement` records;
 * a :class:`~repro.core.resultcache.ResultCache` short-circuits configs
-  measured before, and freshly-computed measurements are stored back.
+  measured before, and a :class:`~repro.core.journal.SweepJournal`
+  (placed next to the cache by default) records every attempt so a
+  re-invocation resumes: cached points are served, only failed points
+  re-run, and attempt numbering continues where the previous run stopped;
+* results come back **in input order** regardless of completion order,
+  and ``jobs=1`` with no timeout runs in-process — no pool, no pickling,
+  byte-identical to the historical serial path;
+* :func:`run_configs` keeps the old list-of-measurements contract for
+  callers that want fail-fast semantics.
+
+Harness-level fault specs (:class:`~repro.faults.spec.WorkerCrash`,
+:class:`~repro.faults.spec.WorkerStall`) are interpreted *here*, in the
+worker entry point: a crash fault hard-exits the worker process (a
+genuine ``BrokenProcessPool`` for the supervisor to survive), a stall
+sleeps past the supervisor's deadline.  Both carry an ``attempts`` bound
+checked against the global attempt number, so retried (or resumed)
+attempts run clean — which is exactly what makes the retry and resume
+paths testable end to end.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
-from typing import Callable, List, Optional, Sequence, TypeVar
+import logging
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.journal import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    SweepJournal,
+)
 from repro.core.measurement import Measurement
-from repro.core.resultcache import ResultCache
-from repro.errors import ConfigurationError
+from repro.core.resultcache import ResultCache, calibration_token, config_digest
+from repro.errors import (
+    ConfigurationError,
+    ExperimentTimeout,
+    SimulatedWorkerCrash,
+    SweepExecutionError,
+)
+from repro.faults.spec import WorkerCrash, WorkerStall, harness_faults
+
+log = logging.getLogger(__name__)
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Journal filename used when one is auto-derived from the cache directory.
+JOURNAL_BASENAME = "sweep-journal.jsonl"
 
 
 def run_one(config: ExperimentConfig) -> Measurement:
     """Execute one config.  Module-level so process pools can pickle it."""
     return Experiment(config).run()
+
+
+def _run_attempt(task: Tuple[ExperimentConfig, int, bool]) -> Measurement:
+    """Worker entry point: apply harness faults, then run the experiment.
+
+    *task* is ``(config, attempt, in_pool)``.  ``attempt`` is the global
+    attempt number (journal-seeded, so it survives resume);  ``in_pool``
+    selects between a hard ``os._exit`` (real worker death, observed by
+    the supervisor as ``BrokenProcessPool``) and the in-process stand-in
+    :class:`~repro.errors.SimulatedWorkerCrash`.
+    """
+    config, attempt, in_pool = task
+    for fault in harness_faults(config.faults):
+        if isinstance(fault, WorkerCrash) and fault.fires_on(attempt):
+            if in_pool:
+                os._exit(fault.exit_code)
+            raise SimulatedWorkerCrash(
+                f"worker crash fault fired on attempt {attempt}"
+            )
+        if isinstance(fault, WorkerStall) and fault.fires_on(attempt):
+            time.sleep(fault.seconds)
+    return run_one(config)
 
 
 def map_ordered(
@@ -43,44 +105,535 @@ def map_ordered(
     """Apply *fn* to every item, preserving input order in the output.
 
     With ``jobs=1`` (or one item) this is a plain in-process loop; with
-    more, items are distributed over a process pool with ``chunksize=1``
-    so long and short experiments interleave instead of convoying.  The
-    first worker exception propagates, matching the serial behaviour.
+    more, every item gets its own future so long and short experiments
+    interleave instead of convoying.  A worker exception is re-raised as
+    a chained :class:`~repro.errors.SweepExecutionError` naming the item
+    index that failed — with hundreds of grid points, "which one?" is
+    the first debugging question.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
     items = list(items)
     if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results: List[_R] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                raise _item_error(exc, index, item) from exc
+        return results
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items, chunksize=1))
+        futures = [pool.submit(fn, item) for item in items]
+        results = []
+        for index, (future, item) in enumerate(zip(futures, items)):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                for pending in futures[index + 1:]:
+                    pending.cancel()
+                raise _item_error(exc, index, item) from exc
+        return results
+
+
+def _item_error(exc: BaseException, index: int, item: object) -> SweepExecutionError:
+    summary = _describe_item(item)
+    return SweepExecutionError(
+        f"item {index} ({summary}) failed: {type(exc).__name__}: {exc}",
+        index=index,
+        item=summary,
+    )
+
+
+def _describe_item(item: object) -> str:
+    if isinstance(item, ExperimentConfig):
+        alloc = item.allocation
+        return (
+            f"{item.workload} sf={item.scale_factor} seed={item.seed} "
+            f"cores={alloc.logical_cores} llc={alloc.llc_mb}MB"
+        )
+    text = repr(item)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+# -- supervision policy --------------------------------------------------------
+
+#: Accepted ``on_error`` policies.
+ON_ERROR_CHOICES = ("raise", "skip", "collect")
+
+#: Failure kinds recorded on a :class:`FailedMeasurement`.
+KIND_CRASH = "crash"
+KIND_TIMEOUT = "timeout"
+KIND_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the supervisor treats slow, crashed, and failing experiments.
+
+    ``timeout``
+        Per-attempt wall-clock budget in seconds (None = unlimited).  A
+        timed-out attempt kills and rebuilds the worker pool — there is
+        no portable way to interrupt a busy worker — and other in-flight
+        configs are resubmitted without burning an attempt.
+    ``retries``
+        Extra attempts granted after a *crash* (worker process died).
+        Deterministic experiment exceptions are never retried: the same
+        config and seed would fail the same way.  Timeouts are retried
+        only with ``retry_timeouts=True`` for the same reason.
+    ``backoff`` / ``backoff_factor`` / ``max_backoff``
+        Exponential delay between crash retries (seconds):
+        ``min(backoff * factor**n, max_backoff)`` after the n-th failure.
+    ``on_error``
+        ``"raise"``: first exhausted failure aborts the sweep (chained
+        :class:`~repro.errors.SweepExecutionError`).  ``"skip"`` and
+        ``"collect"`` keep going and return the holes in the
+        :class:`SweepReport`; ``"collect"`` is the intended mode for
+        overnight sweeps — failures come back as structured records.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+    max_backoff: float = 10.0
+    on_error: str = "raise"
+    retry_timeouts: bool = False
+    poll_interval: float = 0.05
+
+    def __post_init__(self):
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.backoff < 0 or self.backoff_factor < 1.0 or self.max_backoff < 0:
+            raise ConfigurationError("invalid backoff parameters")
+        if self.on_error not in ON_ERROR_CHOICES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_CHOICES}, got {self.on_error!r}"
+            )
+        if self.poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+
+    def retry_delay(self, failures: int) -> float:
+        """Backoff before the attempt following the *failures*-th failure."""
+        if failures <= 0:
+            return 0.0
+        return min(
+            self.backoff * (self.backoff_factor ** (failures - 1)),
+            self.max_backoff,
+        )
+
+    def retryable(self, kind: str) -> bool:
+        if kind == KIND_CRASH:
+            return True
+        if kind == KIND_TIMEOUT:
+            return self.retry_timeouts
+        return False
+
+
+@dataclass(frozen=True)
+class FailedMeasurement:
+    """A grid point that exhausted its attempts, as structured data."""
+
+    index: int
+    config: ExperimentConfig
+    digest: str
+    kind: str          # one of "crash" | "timeout" | "error"
+    error_type: str
+    message: str
+    attempts: int      # global attempt count, including previous runs
+
+    def describe(self) -> str:
+        return (
+            f"[{self.index}] {_describe_item(self.config)}: {self.kind} "
+            f"after {self.attempts} attempt(s) — {self.error_type}: {self.message}"
+        )
+
+
+@dataclass
+class SweepReport:
+    """What a supervised sweep produced: successes, holes, and bookkeeping."""
+
+    measurements: List[Optional[Measurement]]
+    failures: List[FailedMeasurement] = field(default_factory=list)
+    retries: int = 0
+    cache_hits: int = 0
+    pool_restarts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def successes(self) -> List[Measurement]:
+        return [m for m in self.measurements if m is not None]
+
+    def completed_indices(self) -> List[int]:
+        return [i for i, m in enumerate(self.measurements) if m is not None]
+
+    def summary(self) -> str:
+        total = len(self.measurements)
+        done = len(self.successes())
+        return (
+            f"{done}/{total} configs measured "
+            f"({self.cache_hits} cached, {len(self.failures)} failed, "
+            f"{self.retries} retries, {self.pool_restarts} pool restarts)"
+        )
+
+
+@dataclass
+class _Item:
+    """Supervisor-internal state for one pending grid point."""
+
+    index: int
+    config: ExperimentConfig
+    digest: str
+    base_attempts: int        # failures recorded by previous invocations
+    failures: int = 0         # failures observed this invocation
+    started: float = 0.0      # monotonic submit time of the running attempt
+    eligible: float = 0.0     # monotonic time the next attempt may start
+
+    @property
+    def attempt(self) -> int:
+        """Global attempt number passed to the worker (0-based)."""
+        return self.base_attempts + self.failures
+
+    @property
+    def total_attempts(self) -> int:
+        return self.base_attempts + self.failures
+
+
+class _Supervisor:
+    """Future-based sweep supervisor (see module docstring)."""
+
+    def __init__(
+        self,
+        configs: Sequence[ExperimentConfig],
+        jobs: int,
+        cache: Optional[ResultCache],
+        policy: SupervisionPolicy,
+        journal: Optional[SweepJournal],
+    ):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.configs = list(configs)
+        self.jobs = jobs
+        self.cache = cache
+        self.policy = policy
+        self.journal = journal
+        self.report = SweepReport(measurements=[None] * len(self.configs))
+        self._token = cache.token if cache is not None else None
+
+    # -- digests / journal -----------------------------------------------------
+
+    def _digest(self, config: ExperimentConfig) -> str:
+        if self.cache is not None:
+            return self.cache.digest(config)
+        if self._token is None:
+            self._token = calibration_token()
+        return config_digest(config, self._token)
+
+    def _journal_record(self, item: _Item, status: str,
+                        error: Optional[str] = None) -> None:
+        if self.journal is not None:
+            self.journal.record(item.digest, status, attempt=item.attempt,
+                                index=item.index, error=error)
+
+    # -- outcome handling ------------------------------------------------------
+
+    def _succeed(self, item: _Item, measurement: Measurement) -> None:
+        self.report.measurements[item.index] = measurement
+        self._journal_record(item, STATUS_OK)
+        if self.cache is not None:
+            self.cache.put(item.config, measurement)
+
+    def _fail(self, item: _Item, kind: str, exc: Optional[BaseException]) -> bool:
+        """Record one failed attempt.
+
+        Returns True when a retry was scheduled (``item.eligible`` set),
+        False when the item is finally failed (and, under
+        ``on_error="skip"``/``"collect"``, recorded as a hole).  Under
+        ``on_error="raise"`` a final failure raises a chained
+        :class:`~repro.errors.SweepExecutionError` instead.
+        """
+        status = {KIND_CRASH: STATUS_CRASH, KIND_TIMEOUT: STATUS_TIMEOUT}.get(
+            kind, STATUS_ERROR
+        )
+        message = f"{type(exc).__name__}: {exc}" if exc is not None else kind
+        self._journal_record(item, status, error=message)
+        item.failures += 1
+        if self.policy.retryable(kind) and item.failures <= self.policy.retries:
+            self.report.retries += 1
+            delay = self.policy.retry_delay(item.failures)
+            item.eligible = time.monotonic() + delay
+            log.warning(
+                "config %d (%s) %s on attempt %d; retrying in %.2fs",
+                item.index, item.digest[:12], kind, item.attempt - 1, delay,
+            )
+            return True
+        failure = self._make_failure(item, kind, exc)
+        if self.policy.on_error == "raise":
+            error = SweepExecutionError(
+                f"config {failure.index} ({failure.digest[:12]}) {kind} "
+                f"after {failure.attempts} attempt(s): {failure.message}",
+                index=failure.index,
+                item=_describe_item(item.config),
+            )
+            if exc is not None:
+                raise error from exc
+            raise error
+        if self.policy.on_error == "collect":
+            self.report.failures.append(failure)
+        log.warning("dropping %s", failure.describe())
+        return False
+
+    def _make_failure(self, item: _Item, kind: str,
+                      exc: Optional[BaseException]) -> FailedMeasurement:
+        if exc is None:
+            exc = ExperimentTimeout(
+                f"attempt exceeded {self.policy.timeout}s wall-clock budget"
+            )
+        return FailedMeasurement(
+            index=item.index,
+            config=item.config,
+            digest=item.digest,
+            kind=kind,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=item.total_attempts,
+        )
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SweepReport:
+        pending: List[_Item] = []
+        for index, config in enumerate(self.configs):
+            if self.cache is not None:
+                hit = self.cache.get(config)
+                if hit is not None:
+                    self.report.measurements[index] = hit
+                    self.report.cache_hits += 1
+                    continue
+            digest = self._digest(config)
+            base = self.journal.attempts(digest) if self.journal else 0
+            pending.append(_Item(index=index, config=config, digest=digest,
+                                 base_attempts=base))
+        if not pending:
+            return self.report
+        if self.jobs == 1 and self.policy.timeout is None:
+            self._run_serial(pending)
+        else:
+            self._run_pool(pending)
+        return self.report
+
+    def _run_serial(self, pending: List[_Item]) -> None:
+        """In-process path: no pool, no pickling, no timeout enforcement.
+
+        Crash faults surface as :class:`SimulatedWorkerCrash` so the
+        retry/backoff machinery is exercised identically."""
+        for item in pending:
+            while True:
+                delay = item.eligible - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    measurement = _run_attempt((item.config, item.attempt, False))
+                except SimulatedWorkerCrash as exc:
+                    retry = self._fail(item, KIND_CRASH, exc)
+                except Exception as exc:
+                    retry = self._fail(item, KIND_ERROR, exc)
+                else:
+                    self._succeed(item, measurement)
+                    break
+                if not retry:
+                    break
+
+    def _run_pool(self, pending: List[_Item]) -> None:
+        waiting: List[_Item] = list(pending)
+        # When the pool breaks with several attempts in flight,
+        # BrokenProcessPool does not say which worker died, so nobody can
+        # fairly be charged a crash attempt.  The in-flight set is instead
+        # quarantined: suspects re-run one at a time (ahead of everything
+        # else), so a completed solo run exonerates an item at no cost and
+        # a solo pool break convicts the culprit with certainty.
+        suspects: List[_Item] = []
+        running: Dict[Future, _Item] = {}
+        pool = self._new_pool()
+        try:
+            while waiting or suspects or running:
+                now = time.monotonic()
+                # Submit every eligible item up to the in-flight window
+                # (submission is deferred while the window is full so the
+                # per-attempt clock starts when the attempt actually can).
+                # During quarantine the window narrows to one suspect.
+                source = suspects if suspects else waiting
+                window = 1 if suspects else self.jobs
+                ready = [it for it in source if it.eligible <= now]
+                for item in ready:
+                    if len(running) >= window:
+                        break
+                    source.remove(item)
+                    item.started = time.monotonic()
+                    future = pool.submit(
+                        _run_attempt, (item.config, item.attempt, True)
+                    )
+                    running[future] = item
+                if not running:
+                    # Everything is backing off; sleep toward the earliest
+                    # eligibility.
+                    wake = min(it.eligible for it in suspects + waiting)
+                    time.sleep(max(0.0, min(wake - time.monotonic(),
+                                            self.policy.poll_interval * 10)))
+                    continue
+                done, _ = wait(set(running), timeout=self.policy.poll_interval,
+                               return_when=FIRST_COMPLETED)
+                crashed: List[_Item] = []
+                broken_exc: Optional[BaseException] = None
+                for future in done:
+                    item = running.pop(future)
+                    try:
+                        measurement = future.result()
+                    except BrokenProcessPool as exc:
+                        broken_exc = exc
+                        crashed.append(item)
+                    except SimulatedWorkerCrash as exc:
+                        if self._fail(item, KIND_CRASH, exc):
+                            waiting.append(item)
+                    except Exception as exc:
+                        if self._fail(item, KIND_ERROR, exc):
+                            waiting.append(item)
+                    else:
+                        self._succeed(item, measurement)
+                if broken_exc is not None:
+                    # The pool is dead; its leftover futures only ever
+                    # raise BrokenProcessPool, so never await them.
+                    in_flight = crashed + list(running.values())
+                    running.clear()
+                    pool = self._recycle_pool(pool, kill=False)
+                    if len(in_flight) == 1:
+                        # A solo break names its culprit.
+                        item = in_flight[0]
+                        if self._fail(item, KIND_CRASH, broken_exc):
+                            (suspects if suspects else waiting).append(item)
+                    else:
+                        in_flight.sort(key=lambda it: it.index)
+                        for item in in_flight:
+                            item.eligible = 0.0
+                        suspects.extend(in_flight)
+                    continue
+                if self.policy.timeout is not None:
+                    pool = self._reap_timeouts(running, waiting, pool)
+        except SweepExecutionError:
+            # Fail-fast path: don't leave stalled workers behind.
+            self._terminate_pool(pool)
+            raise
+        finally:
+            pool.shutdown(wait=False)
+
+    def _reap_timeouts(
+        self,
+        running: Dict[Future, _Item],
+        waiting: List[_Item],
+        pool: ProcessPoolExecutor,
+    ) -> ProcessPoolExecutor:
+        """Fail attempts past their deadline; returns the (possibly
+        replaced) pool.  A busy worker cannot be interrupted portably, so
+        any timeout kills the whole pool; innocent in-flight attempts are
+        resubmitted without burning an attempt."""
+        now = time.monotonic()
+        expired = [f for f, it in running.items()
+                   if now - it.started > self.policy.timeout]
+        if not expired:
+            return pool
+        for future in expired:
+            item = running.pop(future)
+            if self._fail(item, KIND_TIMEOUT, None):
+                waiting.append(item)
+        for item in running.values():
+            item.eligible = 0.0
+            waiting.append(item)
+        running.clear()
+        return self._recycle_pool(pool, kill=True)
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _recycle_pool(self, pool: ProcessPoolExecutor,
+                      kill: bool) -> ProcessPoolExecutor:
+        if kill:
+            self._terminate_pool(pool)
+        else:
+            pool.shutdown(wait=False)
+        self.report.pool_restarts += 1
+        return self._new_pool()
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool whose workers may never return.
+
+        ``_processes`` is executor-internal; guard every access so a
+        stdlib layout change degrades to an orderly (blocking-free)
+        shutdown instead of an attribute error.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - cancel_futures is 3.9+
+            pool.shutdown(wait=False)
+
+
+def run_supervised(
+    configs: Sequence[ExperimentConfig],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    journal: Optional[SweepJournal] = None,
+) -> SweepReport:
+    """Run every config under supervision; never loses partial progress.
+
+    When *cache* is given and *journal* is not, a journal is opened next
+    to the cache (``sweep-journal.jsonl``) so interrupted sweeps resume:
+    successes short-circuit through the cache, failed points re-run with
+    their global attempt number carried forward.
+    """
+    policy = policy or SupervisionPolicy()
+    if journal is None and cache is not None:
+        journal = SweepJournal(cache.directory / JOURNAL_BASENAME)
+    return _Supervisor(configs, jobs, cache, policy, journal).run()
 
 
 def run_configs(
     configs: Sequence[ExperimentConfig],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    journal: Optional[SweepJournal] = None,
 ) -> List[Measurement]:
-    """Run every config, in order, through the cache and the worker pool."""
-    configs = list(configs)
-    results: List[Optional[Measurement]] = [None] * len(configs)
-    pending: List[int] = []
-    if cache is not None:
-        for index, config in enumerate(configs):
-            hit = cache.get(config)
-            if hit is not None:
-                results[index] = hit
-            else:
-                pending.append(index)
-    else:
-        pending = list(range(len(configs)))
+    """Run every config, in order; returns a dense list or raises.
 
-    fresh = map_ordered(run_one, [configs[i] for i in pending], jobs=jobs)
-    for index, measurement in zip(pending, fresh):
-        results[index] = measurement
-        if cache is not None:
-            cache.put(configs[index], measurement)
-    return results  # type: ignore[return-value]
+    The historical fail-fast contract: any hole in the report (possible
+    only under a ``"skip"``/``"collect"`` policy) raises
+    :class:`~repro.errors.SweepExecutionError` naming the first missing
+    grid point.  Use :func:`run_supervised` to consume partial results.
+    """
+    report = run_supervised(configs, jobs=jobs, cache=cache, policy=policy,
+                            journal=journal)
+    for index, measurement in enumerate(report.measurements):
+        if measurement is None:
+            raise SweepExecutionError(
+                f"config {index} produced no measurement "
+                f"({len(report.failures)} failure(s) recorded): "
+                + "; ".join(f.describe() for f in report.failures[:3]),
+                index=index,
+                item=_describe_item(configs[index]),
+            )
+    return report.measurements  # type: ignore[return-value]
 
 
 def with_seeds(

@@ -23,6 +23,7 @@ from repro.core.measurement import Measurement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner uses sweeps' types)
     from repro.core.resultcache import ResultCache
+    from repro.core.runner import SupervisionPolicy, SweepReport
 
 #: All (workload, scale factor) pairs of the study (Table 2).
 STUDY_MATRIX: Tuple[Tuple[str, int], ...] = (
@@ -188,6 +189,7 @@ def run_sweep(
     configs: Sequence[ExperimentConfig],
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
+    policy: Optional["SupervisionPolicy"] = None,
 ) -> List[Measurement]:
     """Execute a sweep and return measurements in input order.
 
@@ -197,7 +199,31 @@ def run_sweep(
     previously-measured grid points.  Parallel execution is exact, not
     approximate: every config carries its own seed and machine, so
     ``jobs=4`` returns bit-identical measurements to ``jobs=1``.
+
+    ``policy`` tunes supervision (timeouts, crash retries); this
+    function keeps the dense fail-fast contract, so a policy hole raises
+    :class:`~repro.errors.SweepExecutionError` — use
+    :func:`run_sweep_report` to consume partial results.
     """
     from repro.core.runner import run_configs
 
-    return run_configs(configs, jobs=jobs, cache=cache)
+    return run_configs(configs, jobs=jobs, cache=cache, policy=policy)
+
+
+def run_sweep_report(
+    configs: Sequence[ExperimentConfig],
+    jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    policy: Optional["SupervisionPolicy"] = None,
+) -> "SweepReport":
+    """Execute a sweep under supervision and keep partial results.
+
+    Unlike :func:`run_sweep` this never raises for individual grid-point
+    failures when the policy says ``"skip"``/``"collect"`` — the
+    returned :class:`~repro.core.runner.SweepReport` holds successes (in
+    input order, ``None`` holes) plus structured failure records, and a
+    re-invocation resumes from the cache/journal.
+    """
+    from repro.core.runner import run_supervised
+
+    return run_supervised(configs, jobs=jobs, cache=cache, policy=policy)

@@ -63,7 +63,7 @@ class SqlEngine:
             reserved_grant_bytes=reserved,
         )
         self.wal = WriteAheadLog(machine.sim, machine.ssd)
-        self.checkpoint = CheckpointWriter(machine.sim, machine.ssd)
+        self.checkpoint = CheckpointWriter(machine.sim, machine.ssd, wal=self.wal)
         self.locks = LockManager(
             machine.sim, hot_rows=hot_lock_rows, hot_pages=hot_latch_pages
         )

@@ -112,6 +112,36 @@ class SqlOs:
         )
         self._oltp_work_done = 0.0
 
+    # -- fault injection -------------------------------------------------------
+
+    def rebind_cpuset(self) -> None:
+        """Re-read the machine's cpuset and rescale the core pools.
+
+        Supports mid-run core offlining (:mod:`repro.faults`): after the
+        injector shrinks (or restores) ``machine.cpuset``, aggregate
+        capacity is recomputed through the same SMT/NUMA/DRAM-throttle
+        pipeline used at construction and both pools are resized in
+        place.  Per-workload characteristics (MPKI at the CAT
+        allocation, per-core instruction rate) stay frozen — offlining
+        changes how many cores run, not what each executes.
+        """
+        shape = self.machine.cpuset.shape()
+        self.shape = shape
+        raw_capacity = self.machine.cpu_model.capacity_core_equivalents(
+            self.thread_characteristics, shape
+        )
+        full_miss_rate = raw_capacity * self.per_core_ips * self.mpki / 1000.0
+        throttle = self.machine.dram.throttle_factor(full_miss_rate, shape.sockets_used)
+        throttle *= self.machine.numa.qpi_throttle_factor(full_miss_rate, shape)
+        self.dram_throttle = throttle
+        self.capacity_core_equivalents = raw_capacity * throttle
+        self.cpu.set_capacity(self.capacity_core_equivalents)
+        # Keep the FCFS rate scale consistent with the new server count
+        # so aggregate OLTP throughput tracks the shrunk capacity.
+        self._oltp_servers = max(1, int(round(self.capacity_core_equivalents)))
+        self._oltp_rate_scale = self._oltp_servers / self.capacity_core_equivalents
+        self.oltp_cpu.set_capacity(self._oltp_servers)
+
     # -- execution ------------------------------------------------------------
 
     def cpu_seconds(self, instructions: float) -> float:

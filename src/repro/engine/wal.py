@@ -1,4 +1,4 @@
-"""Write-ahead log with group commit.
+"""Write-ahead log with group commit, durability tracking, and retry.
 
 Transactional workloads "experience significant (blocking) logging
 activity and data updates that contribute to their sensitivity to write
@@ -9,16 +9,36 @@ write-bandwidth cap back-pressures transaction latency and hence TPS.
 Group commit batches concurrent commits into one flush, bounded by a batch
 byte size and a flush interval — without it, write IOPS rather than
 bandwidth would dominate and the §6 write-cap results would not reproduce.
+
+Two robustness features support fault injection (:mod:`repro.faults`):
+
+* every commit is assigned a monotonically increasing **LSN** and the log
+  keeps the ordered list of durable records, so a crash point can freeze
+  a durable image mid-batch and recovery can replay it
+  (:mod:`repro.faults.recovery`);
+* a flush that hits an injected
+  :class:`~repro.errors.TransientIOError` retries the **whole batch**
+  (group-commit re-flush) with exponential backoff — commits are only
+  acknowledged after a successful flush, never a failed one.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, NamedTuple, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjectionError, TransientIOError
 from repro.hardware.storage import NvmeDevice
-from repro.sim.process import Simulator, WaitEvent
+from repro.sim.process import Simulator, Timeout, WaitEvent
 from repro.units import KIB
+
+
+class WalRecord(NamedTuple):
+    """One committed unit in the log: its LSN, payload size, and an
+    opaque transaction id (``-1`` when the caller did not provide one)."""
+
+    lsn: int
+    nbytes: float
+    txn_id: int
 
 
 class WriteAheadLog:
@@ -30,26 +50,56 @@ class WriteAheadLog:
         device: NvmeDevice,
         batch_bytes: int = 64 * KIB,
         flush_interval: float = 0.001,
+        retry_backoff: float = 0.002,
+        max_retry_backoff: float = 0.25,
+        max_flush_retries: int = 64,
     ):
         if batch_bytes <= 0 or flush_interval <= 0:
             raise ConfigurationError("bad WAL batching parameters")
+        if retry_backoff <= 0 or max_retry_backoff < retry_backoff or max_flush_retries < 0:
+            raise ConfigurationError("bad WAL retry parameters")
         self._sim = sim
         self._device = device
         self.batch_bytes = batch_bytes
         self.flush_interval = flush_interval
+        self.retry_backoff = retry_backoff
+        self.max_retry_backoff = max_retry_backoff
+        self.max_flush_retries = max_flush_retries
         self._pending_bytes = 0.0
         self._waiters: List[WaitEvent] = []
+        self._pending_records: List[WalRecord] = []
         self._flusher_armed = False
         self._flush_in_progress = False
+        self._next_lsn = 1
+        self.durable_records: List[WalRecord] = []
+        self.durable_lsn = 0
         self.total_log_bytes = 0.0
         self.total_flushes = 0
+        self.total_flush_retries = 0
 
-    def commit(self, log_bytes: float) -> Generator:
-        """Generator: append *log_bytes* and suspend until durable."""
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def in_flight_records(self) -> Tuple[WalRecord, ...]:
+        """Records appended but not yet durable (lost by a crash now)."""
+        return tuple(self._pending_records)
+
+    def commit(self, log_bytes: float, txn_id: int = -1) -> Generator:
+        """Generator: append *log_bytes* and suspend until durable.
+
+        Returns the record's LSN.  The caller is only resumed after the
+        record's batch has been written successfully; a crash before
+        that point loses the record (the transaction never committed).
+        """
         if log_bytes < 0:
             raise ConfigurationError("negative log size")
+        record = WalRecord(lsn=self._next_lsn, nbytes=log_bytes, txn_id=txn_id)
+        self._next_lsn += 1
         self.total_log_bytes += log_bytes
         self._pending_bytes += log_bytes
+        self._pending_records.append(record)
         gate = self._sim.event()
         self._waiters.append(gate)
         if self._pending_bytes >= self.batch_bytes:
@@ -58,7 +108,7 @@ class WriteAheadLog:
             self._flusher_armed = True
             self._sim.loop.schedule_after(self.flush_interval, self._on_timer)
         yield gate
-        return None
+        return record.lsn
 
     def _on_timer(self, _event) -> None:
         self._flusher_armed = False
@@ -70,15 +120,40 @@ class WriteAheadLog:
             return
         batch_bytes = self._pending_bytes
         waiters, self._waiters = self._waiters, []
+        records, self._pending_records = self._pending_records, []
         self._pending_bytes = 0.0
         if not waiters:
             return
         self._flush_in_progress = True
         self.total_flushes += 1
-        self._sim.spawn(self._flush(batch_bytes, waiters), name="wal-flush")
+        self._sim.spawn(self._flush(batch_bytes, waiters, records), name="wal-flush")
 
-    def _flush(self, nbytes: float, waiters: List[WaitEvent]) -> Generator:
-        yield from self._device.write(nbytes)
+    def _flush(
+        self, nbytes: float, waiters: List[WaitEvent], records: List[WalRecord]
+    ) -> Generator:
+        # Bounded retry with exponential backoff: a transient device
+        # error fails the *attempt*, not the batch — the whole batch is
+        # re-flushed (group-commit re-flush) and waiters stay suspended
+        # until an attempt succeeds, so no commit is acknowledged early.
+        attempt = 0
+        while True:
+            try:
+                yield from self._device.write(nbytes)
+                break
+            except TransientIOError:
+                if attempt >= self.max_flush_retries:
+                    raise FaultInjectionError(
+                        f"WAL flush failed after {attempt + 1} attempts "
+                        f"({nbytes:.0f} bytes)"
+                    )
+                self.total_flush_retries += 1
+                yield Timeout(min(self.retry_backoff * (2.0 ** attempt),
+                                  self.max_retry_backoff))
+                attempt += 1
+        # Durability point: records survive any crash after this line.
+        self.durable_records.extend(records)
+        if records:
+            self.durable_lsn = records[-1].lsn
         self._flush_in_progress = False
         for gate in waiters:
             gate.trigger()

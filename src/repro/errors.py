@@ -33,3 +33,49 @@ class PlanningError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was asked to run against an incompatible configuration."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection spec is invalid or a fault fired incorrectly."""
+
+
+class TransientIOError(FaultInjectionError):
+    """An injected, retryable storage error (transient write failure)."""
+
+
+class SimulatedWorkerCrash(FaultInjectionError):
+    """A harness fault asked the (in-process) worker to die.
+
+    Pool workers honour :class:`~repro.faults.spec.WorkerCrash` with a
+    hard ``os._exit`` so the supervisor sees a real
+    ``BrokenProcessPool``; the in-process runner raises this instead so
+    the same spec stays testable without killing the interpreter.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery violated a durability invariant.
+
+    Raised when WAL replay after an injected crash would lose a
+    committed transaction, apply a record twice, or observe a
+    non-monotone LSN sequence.
+    """
+
+
+class ExperimentTimeout(ReproError):
+    """A supervised experiment exceeded its wall-clock timeout."""
+
+
+class SweepExecutionError(ReproError):
+    """A grid point of a sweep failed; carries which config it was.
+
+    ``index`` is the position in the submitted config list and
+    ``item`` a short description (config digest or repr) so a worker
+    exception bubbling out of a thousand-point sweep identifies its
+    grid point.  The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, index: int = -1, item: str = ""):
+        super().__init__(message)
+        self.index = index
+        self.item = item

@@ -1,0 +1,62 @@
+"""Deterministic, seed-driven fault injection for experiments and sweeps.
+
+The paper's harness ran thousands of cgroup/CAT/blkio grid points on real
+hardware, where individual runs stall, crash, or get killed.  This package
+makes both layers of that reality injectable and testable:
+
+* **Simulation-level faults** (:mod:`repro.faults.spec` +
+  :mod:`repro.faults.injector`) perturb one experiment from the inside:
+  storage brownouts, transient write errors exercising the WAL's
+  retry/backoff path, mid-run core offlining through the cpuset, and
+  crash points that drive WAL replay + checkpoint recovery with
+  durability invariant checks (:mod:`repro.faults.recovery`).
+* **Harness-level faults** (:class:`~repro.faults.spec.WorkerCrash`,
+  :class:`~repro.faults.spec.WorkerStall`) kill or hang the *worker
+  process* running an experiment, exercising the supervised sweep
+  runner's retry, timeout, and partial-result machinery
+  (:mod:`repro.core.runner`).
+
+Faults ride on :class:`~repro.core.experiment.ExperimentConfig` as a
+tuple of frozen spec dataclasses, so they are part of the cache key and
+a faulted run can never be served from a fault-free cache entry.
+"""
+
+from repro.faults.spec import (
+    CoreOffline,
+    CrashPoint,
+    FaultSpec,
+    HarnessFault,
+    SimulationFault,
+    StorageBrownout,
+    TransientWriteErrors,
+    WorkerCrash,
+    WorkerStall,
+    harness_faults,
+    simulation_faults,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import (
+    RecoveryResult,
+    WalImage,
+    recover,
+    verify_committed_durable,
+)
+
+__all__ = [
+    "CoreOffline",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultSpec",
+    "HarnessFault",
+    "RecoveryResult",
+    "SimulationFault",
+    "StorageBrownout",
+    "TransientWriteErrors",
+    "WalImage",
+    "WorkerCrash",
+    "WorkerStall",
+    "harness_faults",
+    "recover",
+    "simulation_faults",
+    "verify_committed_durable",
+]

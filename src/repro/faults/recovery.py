@@ -1,0 +1,183 @@
+"""Crash recovery: WAL replay + checkpoint, with durability invariants.
+
+A crash freezes what is actually on stable storage: the WAL's durable
+record list (commits whose group-commit batch completed) and the
+checkpoint LSN (transactions whose data-page effects the checkpoint
+writer has flushed).  Everything in flight — the accumulating batch, the
+batch being written when the crash hit — is lost, and *by design no
+client was ever told those transactions committed* (the WAL only
+acknowledges after a successful flush).
+
+:func:`recover` rebuilds post-crash state ARIES-style in miniature:
+start from the data files (every record at or below the checkpoint LSN)
+and replay the durable log tail above it.  Replay is **idempotent** —
+an LSN already applied is skipped, mirroring page-LSN checks in a real
+engine — so recovering an already-recovered image, or a conservative
+checkpoint that overlaps the tail, never double-applies.  Violations of
+the two invariants (no durable-committed transaction lost, nothing
+applied twice) raise :class:`~repro.errors.RecoveryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.engine.wal import WalRecord, WriteAheadLog
+from repro.errors import RecoveryError
+
+
+@dataclass(frozen=True)
+class WalImage:
+    """What survives a crash: the durable log and the checkpoint LSN."""
+
+    durable_records: Tuple[WalRecord, ...]
+    durable_lsn: int
+    checkpoint_lsn: int
+    #: Records that were appended but not durable at the crash — lost,
+    #: and legitimately so (their commits were never acknowledged).
+    lost_records: Tuple[WalRecord, ...] = ()
+
+    @staticmethod
+    def capture(wal: WriteAheadLog, checkpoint_lsn: int = 0) -> "WalImage":
+        """Freeze the durable image of *wal* at this instant."""
+        if checkpoint_lsn > wal.durable_lsn:
+            raise RecoveryError(
+                f"checkpoint LSN {checkpoint_lsn} ahead of durable LSN "
+                f"{wal.durable_lsn}: checkpoint claims undurable work"
+            )
+        return WalImage(
+            durable_records=tuple(wal.durable_records),
+            durable_lsn=wal.durable_lsn,
+            checkpoint_lsn=checkpoint_lsn,
+            lost_records=wal.in_flight_records,
+        )
+
+
+@dataclass
+class RecoveredState:
+    """The rebuilt database state: which LSNs are applied, how often.
+
+    ``apply`` *is* the page-LSN check: re-applying a present LSN is a
+    skip (the write is not performed), mirroring how a real engine's
+    redo pass consults the page LSN before touching the page.  A count
+    above one therefore only happens if something bypasses the check —
+    which is exactly what ``double_applied`` exists to catch.
+    """
+
+    apply_counts: Dict[int, int] = field(default_factory=dict)
+    skipped: int = 0
+
+    def apply(self, record: WalRecord) -> bool:
+        """Apply one record; returns False when skipped (already there)."""
+        if record.lsn in self.apply_counts:
+            self.skipped += 1
+            return False
+        self.apply_counts[record.lsn] = 1
+        return True
+
+    @property
+    def applied_lsns(self) -> FrozenSet[int]:
+        return frozenset(self.apply_counts)
+
+    @property
+    def double_applied(self) -> Tuple[int, ...]:
+        return tuple(sorted(l for l, n in self.apply_counts.items() if n > 1))
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of one recovery pass."""
+
+    recovered_lsns: FrozenSet[int]
+    recovered_txn_ids: FrozenSet[int]
+    replayed: int          # records replayed from the log tail
+    from_checkpoint: int   # records already covered by the data files
+    lost_uncommitted: int  # in-flight records dropped (never acknowledged)
+
+
+def recover(image: WalImage, state: Optional[RecoveredState] = None) -> RecoveryResult:
+    """Replay *image* into *state* (a fresh one by default) and verify.
+
+    Invariants checked (each violation raises
+    :class:`~repro.errors.RecoveryError`):
+
+    * durable LSNs are strictly increasing and end at ``durable_lsn``;
+    * after replay, **every** durable record is applied exactly once —
+      no committed transaction lost, none double-applied;
+    * no lost (unacknowledged) record sneaks into the recovered state.
+    """
+    if state is None:
+        state = RecoveredState()
+    _check_monotone(image.durable_records, image.durable_lsn)
+
+    from_checkpoint = 0
+    replayed = 0
+    for record in image.durable_records:
+        if record.lsn <= image.checkpoint_lsn:
+            # Already in the data files; loading them "applies" it.
+            state.apply(record)
+            from_checkpoint += 1
+        else:
+            if state.apply(record):
+                replayed += 1
+    doubles = state.double_applied
+    if doubles:
+        raise RecoveryError(
+            f"replay applied LSNs {doubles[:5]} more than once "
+            f"({len(doubles)} total)"
+        )
+    durable_lsns = {r.lsn for r in image.durable_records}
+    missing = durable_lsns - state.applied_lsns
+    if missing:
+        raise RecoveryError(
+            f"recovery lost {len(missing)} committed records "
+            f"(LSNs {sorted(missing)[:5]}...)"
+        )
+    leaked = {r.lsn for r in image.lost_records} & state.applied_lsns
+    if leaked:
+        raise RecoveryError(
+            f"recovery applied {len(leaked)} unacknowledged in-flight "
+            f"records (LSNs {sorted(leaked)[:5]}...)"
+        )
+    return RecoveryResult(
+        recovered_lsns=frozenset(state.applied_lsns),
+        recovered_txn_ids=frozenset(
+            r.txn_id for r in image.durable_records if r.txn_id >= 0
+        ),
+        replayed=replayed,
+        from_checkpoint=from_checkpoint,
+        lost_uncommitted=len(image.lost_records),
+    )
+
+
+def _check_monotone(records: Tuple[WalRecord, ...], durable_lsn: int) -> None:
+    previous = 0
+    for record in records:
+        if record.lsn <= previous:
+            raise RecoveryError(
+                f"non-monotone durable log: LSN {record.lsn} after {previous}"
+            )
+        previous = record.lsn
+    if records and previous != durable_lsn:
+        raise RecoveryError(
+            f"durable LSN {durable_lsn} disagrees with last record {previous}"
+        )
+
+
+def verify_committed_durable(
+    committed_txn_ids: Iterable[int], result: RecoveryResult
+) -> None:
+    """Assert every client-acknowledged transaction was recovered.
+
+    *committed_txn_ids* is the client-side ground truth: transactions
+    whose ``commit()`` generator returned before the crash.  Raises
+    :class:`~repro.errors.RecoveryError` naming the lost transactions
+    otherwise.
+    """
+    lost = set(committed_txn_ids) - set(result.recovered_txn_ids)
+    if lost:
+        raise RecoveryError(
+            f"{len(lost)} acknowledged transactions lost by recovery: "
+            f"{sorted(lost)[:10]}"
+        )

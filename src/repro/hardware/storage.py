@@ -10,9 +10,9 @@ the device bucket, so the effective cap is the minimum of the two.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjectionError, TransientIOError
 from repro.sim.process import Simulator, Timeout
 from repro.sim.resources import TokenBucket
 from repro.units import mb_per_s
@@ -43,6 +43,12 @@ class NvmeDevice:
         self._device_write = TokenBucket(sim, write_bw, burst=burst_w, name=f"{name}.wr")
         self._cgroup_read = TokenBucket(sim, None, name=f"{name}.cg.rd")
         self._cgroup_write = TokenBucket(sim, None, name=f"{name}.cg.wr")
+        # Fault-injection state (see repro.faults): bandwidth brownout
+        # factors and an optional transient write-error predicate.
+        self._brownout_read_factor = 1.0
+        self._brownout_write_factor = 1.0
+        self._write_error_predicate: Optional[Callable[[], bool]] = None
+        self.write_faults_injected = 0
 
     # -- cgroup blkio front-end -------------------------------------------------
 
@@ -64,13 +70,51 @@ class NvmeDevice:
 
     @property
     def effective_read_bw(self) -> float:
+        device = self.device_read_bw * self._brownout_read_factor
         cgroup = self._cgroup_read.rate
-        return self.device_read_bw if cgroup is None else min(self.device_read_bw, cgroup)
+        return device if cgroup is None else min(device, cgroup)
 
     @property
     def effective_write_bw(self) -> float:
+        device = self.device_write_bw * self._brownout_write_factor
         cgroup = self._cgroup_write.rate
-        return self.device_write_bw if cgroup is None else min(self.device_write_bw, cgroup)
+        return device if cgroup is None else min(device, cgroup)
+
+    # -- fault injection (see repro.faults) -------------------------------------
+
+    def apply_brownout(self, read_factor: float = 1.0, write_factor: float = 1.0) -> None:
+        """Scale the *device* bandwidths by the given factors (a storage
+        brownout).  cgroup caps are untouched; the effective rate is
+        still the minimum of the two layers."""
+        for name, factor in (("read_factor", read_factor),
+                             ("write_factor", write_factor)):
+            if not 0 < factor <= 1.0:
+                raise FaultInjectionError(f"{name} must be in (0, 1]")
+        self._brownout_read_factor = read_factor
+        self._brownout_write_factor = write_factor
+        self._device_read.set_rate(self.device_read_bw * read_factor)
+        self._device_write.set_rate(self.device_write_bw * write_factor)
+
+    def clear_brownout(self) -> None:
+        """Restore the device's rated bandwidths."""
+        self.apply_brownout(1.0, 1.0)
+
+    @property
+    def browned_out(self) -> bool:
+        return (self._brownout_read_factor < 1.0
+                or self._brownout_write_factor < 1.0)
+
+    def set_write_error_predicate(
+        self, predicate: Optional[Callable[[], bool]]
+    ) -> None:
+        """Install (or clear, with ``None``) a transient write-error hook.
+
+        While installed, each :meth:`write` call consults the predicate
+        *before* consuming bandwidth; a ``True`` return makes the write
+        raise :class:`~repro.errors.TransientIOError`.  Callers with a
+        durability contract (the WAL) retry with backoff.
+        """
+        self._write_error_predicate = predicate
 
     # -- IO path ------------------------------------------------------------------
 
@@ -105,9 +149,20 @@ class NvmeDevice:
         return None
 
     def write(self, nbytes: float) -> Generator:
-        """Generator: complete a write of *nbytes* through both buckets."""
+        """Generator: complete a write of *nbytes* through both buckets.
+
+        Raises :class:`~repro.errors.TransientIOError` when an injected
+        write-error window is active (no bandwidth is consumed by the
+        failed attempt; the caller decides whether to retry).
+        """
         if nbytes < 0:
             raise ConfigurationError("negative write size")
+        if self._write_error_predicate is not None and self._write_error_predicate():
+            self.write_faults_injected += 1
+            raise TransientIOError(
+                f"{self.name}: injected transient write error "
+                f"(#{self.write_faults_injected})"
+            )
         remaining = nbytes
         while remaining > 0:
             chunk = min(self.CHUNK_BYTES, remaining)

@@ -74,12 +74,18 @@ class Process:
         self.name = name
         self.alive = True
         self.result: Any = None
+        self.error: Optional[BaseException] = None
         self._done = WaitEvent(simulator)
 
     @property
     def done(self) -> WaitEvent:
         """WaitEvent that triggers (with the return value) on termination."""
         return self._done
+
+    @property
+    def failed(self) -> bool:
+        """True when the process terminated with an uncaught exception."""
+        return self.error is not None
 
     def _start(self) -> None:
         self._sim.loop.schedule_after(0.0, lambda ev: self._resume(None))
@@ -94,6 +100,16 @@ class Process:
             self.result = stop.value
             self._done.trigger(stop.value)
             return
+        except BaseException as exc:
+            # Record which process died before the exception unwinds the
+            # event loop — essential when an injected fault escapes a
+            # handler deep inside the engine stack (see repro.faults).
+            self.alive = False
+            self.error = exc
+            exc.__notes__ = getattr(exc, "__notes__", []) + [
+                f"raised in simulation process {self.name!r}"
+            ]
+            raise
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:

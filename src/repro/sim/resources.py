@@ -50,6 +50,21 @@ class FcfsServer:
     def queue_length(self) -> int:
         return len(self._queue)
 
+    def set_capacity(self, capacity: int) -> None:
+        """Change the server count at runtime (e.g. core offlining).
+
+        Shrinking never preempts holders: ``in_use`` may exceed the new
+        capacity until enough releases drain it, after which grants
+        follow the new limit.  Growing wakes queued waiters immediately.
+        """
+        if capacity < 1:
+            raise SimulationError(f"{self.name}: capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # Wake one queued waiter per newly-free slot (each increments
+        # in_use itself when it resumes, so count the grants locally).
+        for _ in range(min(len(self._queue), max(0, self.capacity - self._in_use))):
+            self._queue.popleft().trigger()
+
     def acquire(self) -> Generator:
         """Generator: suspends until a server slot is free."""
         start = self._sim.now

@@ -85,7 +85,8 @@ class TestResultCache:
         hit = cache.get(config)
         assert hit is not None
         assert hit.primary_metric == measurement.primary_metric
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "store_errors": 0}
         assert len(cache) == 1
 
     def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
@@ -132,6 +133,48 @@ class TestResultCache:
     def test_no_temp_droppings(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(make_config(), run_experiment("asdb", 2000, duration=3.0))
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_disk_errors_degrade_to_warning(self, tmp_path, monkeypatch,
+                                            caplog):
+        """A full disk (or revoked permissions) mid-sweep must not throw
+        away the just-computed measurement: put() logs and returns None."""
+        import errno
+        import logging
+
+        cache = ResultCache(tmp_path)
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+
+        def no_space(*args, **kwargs):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.core.resultcache.tempfile.mkstemp",
+                            no_space)
+        with caplog.at_level(logging.WARNING, logger="repro.core.resultcache"):
+            result = cache.put(make_config(), measurement)
+        assert result is None
+        assert cache.store_errors == 1
+        assert cache.stores == 0
+        assert any("could not store" in r.message for r in caplog.records)
+        # The cache object remains usable once the disk recovers.
+        monkeypatch.undo()
+        assert cache.put(make_config(), measurement) is not None
+        assert cache.get(make_config()).primary_metric == \
+            measurement.primary_metric
+
+    def test_rename_failure_cleans_temp_file(self, tmp_path, monkeypatch):
+        import errno
+
+        cache = ResultCache(tmp_path)
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+
+        def no_rename(*args, **kwargs):
+            raise OSError(errno.EACCES, "Permission denied")
+
+        monkeypatch.setattr("repro.core.resultcache.os.replace", no_rename)
+        assert cache.put(make_config(), measurement) is None
         leftovers = [p for p in tmp_path.iterdir()
                      if p.name.startswith(".tmp-")]
         assert leftovers == []

@@ -5,26 +5,88 @@ import pytest
 from repro.errors import (
     AllocationError,
     ConfigurationError,
+    ExperimentTimeout,
+    FaultInjectionError,
     PlanningError,
+    RecoveryError,
     ReproError,
+    SimulatedWorkerCrash,
     SimulationError,
+    SweepExecutionError,
+    TransientIOError,
+    WorkloadError,
+)
+
+#: Every public exception the library raises, leaf and intermediate.
+ALL_ERRORS = (
+    AllocationError,
+    ConfigurationError,
+    ExperimentTimeout,
+    FaultInjectionError,
+    PlanningError,
+    RecoveryError,
+    SimulatedWorkerCrash,
+    SimulationError,
+    SweepExecutionError,
+    TransientIOError,
     WorkloadError,
 )
 
 
 def test_all_errors_derive_from_repro_error():
-    for exc in (AllocationError, ConfigurationError, PlanningError,
-                SimulationError, WorkloadError):
+    for exc in ALL_ERRORS:
         assert issubclass(exc, ReproError)
+
+
+def test_hierarchy_is_complete():
+    """Every ReproError subclass defined in repro.errors is in ALL_ERRORS."""
+    import repro.errors as errors
+
+    defined = {
+        obj for obj in vars(errors).values()
+        if isinstance(obj, type)
+        and issubclass(obj, ReproError)
+        and obj is not ReproError
+    }
+    assert defined == set(ALL_ERRORS)
 
 
 def test_allocation_is_a_configuration_error():
     assert issubclass(AllocationError, ConfigurationError)
 
 
+def test_fault_errors_nest_under_fault_injection():
+    assert issubclass(TransientIOError, FaultInjectionError)
+    assert issubclass(SimulatedWorkerCrash, FaultInjectionError)
+
+
 def test_single_except_catches_library_errors():
     with pytest.raises(ReproError):
         raise AllocationError("no such core")
+    with pytest.raises(ReproError):
+        raise RecoveryError("lost a committed transaction")
+    with pytest.raises(ReproError):
+        raise ExperimentTimeout("attempt exceeded budget")
+
+
+def test_sweep_execution_error_carries_grid_point():
+    error = SweepExecutionError("item 3 failed", index=3, item="asdb sf=2000")
+    assert error.index == 3
+    assert error.item == "asdb sf=2000"
+    assert "item 3 failed" in str(error)
+    # Defaults identify "unknown grid point" without blowing up.
+    bare = SweepExecutionError("boom")
+    assert bare.index == -1 and bare.item == ""
+
+
+def test_sweep_execution_error_chains_cause():
+    try:
+        try:
+            raise ValueError("worker blew up")
+        except ValueError as exc:
+            raise SweepExecutionError("item 0 failed", index=0) from exc
+    except SweepExecutionError as wrapped:
+        assert isinstance(wrapped.__cause__, ValueError)
 
 
 def test_library_raises_its_own_types():
@@ -35,3 +97,12 @@ def test_library_raises_its_own_types():
     from repro.engine.optimizer.queryspec import TableRef
     with pytest.raises(ReproError):
         TableRef("t", "t", selectivity=2.0)
+
+
+def test_fault_specs_validate_with_fault_injection_error():
+    from repro.faults import StorageBrownout, WorkerCrash
+
+    with pytest.raises(FaultInjectionError):
+        StorageBrownout(start=-1.0, duration=1.0)
+    with pytest.raises(FaultInjectionError):
+        WorkerCrash(attempts=0)
