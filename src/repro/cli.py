@@ -7,6 +7,7 @@ Usage::
     python -m repro sweep llc asdb 2000 --jobs 4 --cache-dir ~/.cache/repro
     python -m repro sweep cores tpce 5000 --timeout 600 --on-error collect
     python -m repro faults --cache-dir /tmp/faults-demo
+    python -m repro admission --oversub 1,4,16 --grant-timeout 30
     python -m repro figure table2
     python -m repro figure fig7
     python -m repro list
@@ -135,6 +136,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=None,
                      help="simulated seconds (default: per-workload)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--grant-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="RESOURCE_SEMAPHORE grant-queue timeout; enables "
+                     "overload protection (default: off)")
+    run.add_argument("--small-query-bypass-mb", type=float, default=0.0,
+                     metavar="MB",
+                     help="grants at or below this size skip the grant "
+                     "queue (default: 0, bypass off)")
+    run.add_argument("--max-queue-depth", type=int, default=None, metavar="N",
+                     help="throttle admission once N requests are queued "
+                     "for grants (default: unbounded)")
+    run.add_argument("--on-grant-timeout", choices=("degrade", "fail"),
+                     default="degrade",
+                     help="timed-out/throttled grants shrink to free memory "
+                     "and spill (degrade) or raise (fail)")
 
     sweep = sub.add_parser("sweep", help="run a one-axis sweep")
     sweep.add_argument("axis", choices=("cores", "llc"))
@@ -162,6 +178,37 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_supervision_options(faults)
     faults.set_defaults(jobs=2, timeout=60.0, on_error="collect")
 
+    admission = sub.add_parser(
+        "admission",
+        help="sweep §10 admission policies under stream oversubscription",
+        description="Runs the overload-protection demo: three admission "
+        "policies (immediate, serialized, queued-with-timeout) across "
+        "stream oversubscription levels, reporting per-stream throughput "
+        "and the RESOURCE_SEMAPHORE counters, and checking the "
+        "monotone-degradation invariant (per-stream throughput never "
+        "increases with oversubscription).",
+    )
+    admission.add_argument("--scale-factor", type=int, default=100)
+    admission.add_argument(
+        "--oversub", default="1,4,16", metavar="L1,L2,...",
+        help="comma-separated oversubscription levels relative to the "
+        "pool's natural concurrency (default: 1,4,16)",
+    )
+    admission.add_argument(
+        "--admission-policy",
+        choices=("immediate", "serialized", "queued", "all"), default="all",
+        help="which policy to sweep (default: all three)",
+    )
+    admission.add_argument("--base-streams", type=int, default=4,
+                           help="streams at 1x oversubscription (default: 4, "
+                           "the default pool's concurrent-grant capacity)")
+    admission.add_argument("--grant-timeout", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="grant-queue timeout for the queued policy "
+                           "(default: 30)")
+    admission.add_argument("--duration-scale", type=float, default=0.4)
+    admission.add_argument("--seed", type=int, default=0)
+
     figure = sub.add_parser("figure", help="regenerate a paper artifact")
     figure.add_argument(
         "name",
@@ -187,6 +234,10 @@ def _cmd_run(args) -> int:
         read_bw_limit=mb_per_s(args.read_limit_mb) if args.read_limit_mb else None,
         write_bw_limit=mb_per_s(args.write_limit_mb) if args.write_limit_mb else None,
         grant_percent=args.grant_percent,
+        grant_timeout_s=args.grant_timeout,
+        small_query_bypass_bytes=args.small_query_bypass_mb * 1024.0 * 1024.0,
+        max_queue_depth=args.max_queue_depth,
+        on_grant_timeout=args.on_grant_timeout,
     )
     duration = args.duration or duration_for(args.workload, args.scale_factor)
     m = run_experiment(args.workload, args.scale_factor, allocation=allocation,
@@ -201,6 +252,18 @@ def _cmd_run(args) -> int:
     ]
     if m.secondary_metric is not None:
         rows.insert(1, ("analytics QPH", m.secondary_metric))
+    protection_on = (args.grant_timeout is not None
+                     or args.small_query_bypass_mb > 0
+                     or args.max_queue_depth is not None)
+    if protection_on:
+        rows += [
+            ("grant waits", m.grant_waits),
+            ("grant wait s", m.grant_wait_seconds),
+            ("grant timeouts", m.grant_timeouts),
+            ("grant degrades", m.grant_degrades),
+            ("grant bypasses", m.grant_bypasses),
+            ("grant queue peak", m.grant_queue_peak),
+        ]
     print(format_table(
         ["metric", "value"], rows,
         title=f"{args.workload} SF={args.scale_factor} "
@@ -305,6 +368,53 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_admission(args) -> int:
+    """Overload-protection demo: §10 policies under oversubscription.
+
+    Output is line-oriented and greppable on purpose — the CI overload
+    matrix asserts on ``admission-complete:`` and
+    ``monotone-degradation:`` markers.
+    """
+    from repro.core.admission import ADMISSION_POLICIES, sweep_admission_policies
+
+    try:
+        levels = tuple(int(x) for x in args.oversub.split(",") if x.strip())
+    except ValueError:
+        print(f"invalid --oversub list: {args.oversub!r}", file=sys.stderr)
+        return 2
+    policies = (ADMISSION_POLICIES if args.admission_policy == "all"
+                else (args.admission_policy,))
+    sweep = sweep_admission_policies(
+        scale_factor=args.scale_factor,
+        oversubscription=levels,
+        policies=policies,
+        base_streams=args.base_streams,
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+        grant_timeout_s=args.grant_timeout,
+    )
+    print(format_table(
+        ["policy", "oversub", "streams", "QPS", "QPS/stream", "waits",
+         "wait s", "timeouts", "degrades", "queue peak"],
+        [(p.policy, f"{p.oversubscription}x", p.streams,
+          f"{p.qps:.4f}", f"{p.per_stream_qps:.5f}", p.grant_waits,
+          f"{p.grant_wait_seconds:.0f}", p.grant_timeouts, p.grant_degrades,
+          p.grant_queue_peak) for p in sweep.points],
+        title=f"Admission policies, TPC-H SF={sweep.scale_factor} "
+        f"({sweep.duration:.0f}s simulated per point)",
+    ))
+    for policy in policies:
+        ladder = sweep.points_for(policy)
+        marker = "ok" if sweep.monotone_degradation(policy) else "VIOLATED"
+        print(f"policy {policy}: per-stream "
+              + " -> ".join(f"{p.per_stream_qps:.5f}" for p in ladder)
+              + f" [{marker}]")
+    monotone = sweep.monotone_degradation()
+    print(f"admission-complete: {len(sweep.points)} points")
+    print(f"monotone-degradation: {'ok' if monotone else 'VIOLATED'}")
+    return 0 if monotone else 1
+
+
 def _cmd_figure(args) -> int:
     from repro.core import figures
     cache = _resolve_cache(args)
@@ -398,6 +508,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
+        "admission": _cmd_admission,
         "figure": _cmd_figure,
         "report": _cmd_report,
         "list": _cmd_list,

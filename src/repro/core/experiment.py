@@ -61,9 +61,14 @@ class Experiment:
         return machine
 
     def _build_engine(self, machine: Machine, workload: Workload) -> SqlEngine:
+        alloc = self.config.allocation
         governor = ResourceGovernor(
-            max_dop=self.config.allocation.effective_max_dop,
-            grant_percent=self.config.allocation.grant_percent,
+            max_dop=alloc.effective_max_dop,
+            grant_percent=alloc.grant_percent,
+            grant_timeout_s=alloc.grant_timeout_s,
+            small_query_bypass_bytes=alloc.small_query_bypass_bytes,
+            max_queue_depth=alloc.max_queue_depth,
+            on_grant_timeout=alloc.on_grant_timeout,
         )
         return SqlEngine(
             machine=machine,
@@ -94,6 +99,7 @@ class Experiment:
         sampler.stop()
 
         plan_signatures = self._collect_plan_signatures(engine, workload)
+        semaphore = engine.semaphore.summary()
         secondary = None
         if isinstance(workload, HtapWorkload):
             secondary = workload.analytics_qph(tracker, config.duration)
@@ -111,6 +117,13 @@ class Experiment:
             smt_multiplier=engine.sqlos.smt_multiplier,
             mpki_model=engine.sqlos.mpki,
             fault_summary=injector.summary() if injector is not None else None,
+            grant_waits=semaphore["grant_waits"],
+            grant_wait_seconds=semaphore["grant_wait_seconds"],
+            grant_timeouts=semaphore["grant_timeouts"],
+            grant_degrades=semaphore["grant_degrades"],
+            grant_bypasses=semaphore["grant_bypasses"],
+            grant_throttles=semaphore["grant_throttles"],
+            grant_queue_peak=semaphore["grant_queue_peak"],
         )
 
     def _collect_plan_signatures(

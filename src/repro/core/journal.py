@@ -11,10 +11,15 @@ resumed sweep
   attempt fails once, ever, not once per invocation), and
 * can report *why* the holes in a previous run's grid exist.
 
+Besides attempt records the journal carries *event* lines (no digest) —
+:meth:`SweepJournal.note` — used by the supervisor to record
+circuit-breaker transitions, so a post-mortem can line up concurrency
+changes against the attempt history.
+
 The format is JSON-lines, append-only, and tolerant of torn tails (a
-killed run may leave a partial last line; it is skipped on load).  One
-journal serves one sweep campaign; by default the supervised runner
-places it next to the result cache.
+killed run may leave a partial last line; it is dropped with a warning
+on load, never raised).  One journal serves one sweep campaign; by
+default the supervised runner places it next to the result cache.
 """
 
 from __future__ import annotations
@@ -43,7 +48,9 @@ class SweepJournal:
     def __init__(self, path: os.PathLike):
         self.path = Path(path)
         self._entries: List[Dict] = []
+        self._events: List[Dict] = []
         self._by_digest: Dict[str, List[Dict]] = defaultdict(list)
+        self._needs_newline = False
         if self.path.exists():
             self._load()
 
@@ -54,17 +61,37 @@ class SweepJournal:
             log.warning("sweep journal %s unreadable (%s); starting empty",
                         self.path, exc)
             return
-        for line in text.splitlines():
+        # A torn tail has no terminating newline; appending straight to
+        # it would weld the next record onto the fragment and lose both.
+        self._needs_newline = bool(text) and not text.endswith("\n")
+        lines = text.splitlines()
+        for number, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
             except ValueError:
-                # Torn tail from a killed writer — ignore and move on.
+                if number == len(lines):
+                    # Torn tail from a killed writer: expected damage —
+                    # the attempt it described never committed anyway.
+                    log.warning(
+                        "sweep journal %s: dropping truncated trailing "
+                        "line %d", self.path, number,
+                    )
+                else:
+                    log.warning(
+                        "sweep journal %s: skipping corrupt line %d",
+                        self.path, number,
+                    )
                 continue
-            if isinstance(entry, dict) and "digest" in entry:
+            if not isinstance(entry, dict):
+                log.warning("sweep journal %s: skipping non-record line %d",
+                            self.path, number)
+            elif "digest" in entry:
                 self._remember(entry)
+            elif "event" in entry:
+                self._events.append(entry)
 
     def _remember(self, entry: Dict) -> None:
         self._entries.append(entry)
@@ -88,9 +115,27 @@ class SweepJournal:
         if error:
             entry["error"] = error
         self._remember(entry)
+        self._append(entry)
+
+    def note(self, event: str, **fields) -> None:
+        """Append one event line (no digest) — e.g. a breaker transition.
+
+        Same durability contract as :meth:`record`: disk trouble degrades
+        to a warning, never an exception.
+        """
+        entry: Dict = {"event": event, **fields}
+        self._events.append(entry)
+        self._append(entry)
+
+    def _append(self, entry: Dict) -> None:
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as handle:
+                if self._needs_newline:
+                    # Seal a torn tail so the fragment stays its own
+                    # (skippable) line instead of eating this record.
+                    handle.write("\n")
+                    self._needs_newline = False
                 handle.write(json.dumps(entry, sort_keys=True) + "\n")
         except OSError as exc:
             log.warning("could not append to sweep journal %s: %s",
@@ -100,6 +145,12 @@ class SweepJournal:
 
     def entries(self, digest: str) -> Iterator[Dict]:
         return iter(self._by_digest.get(digest, ()))
+
+    def events(self, event: Optional[str] = None) -> List[Dict]:
+        """Event lines recorded via :meth:`note`, optionally filtered."""
+        if event is None:
+            return list(self._events)
+        return [e for e in self._events if e.get("event") == event]
 
     def attempts(self, digest: str) -> int:
         """Failed attempts burned so far (seeds resumed attempt numbering)."""

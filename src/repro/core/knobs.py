@@ -8,6 +8,12 @@ One :class:`ResourceAllocation` captures everything the paper varies:
 * ``read_bw_limit`` / ``write_bw_limit`` — cgroup blkio caps in bytes/sec
   (§6);
 * ``grant_percent`` — per-query memory grant percentage (§8).
+
+Beyond the paper's axes, the overload-protection knobs
+(``grant_timeout_s``, ``small_query_bypass_bytes``, ``max_queue_depth``,
+``on_grant_timeout``) configure RESOURCE_SEMAPHORE grant queueing for
+the §10 concurrency-surge extension.  All default off, which reproduces
+the historical instant-admission behavior exactly.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.calibration import DEFAULT_GRANT_PERCENT
+from repro.engine.resource_governor import ON_TIMEOUT_CHOICES, ON_TIMEOUT_DEGRADE
 from repro.errors import ConfigurationError
 from repro.hardware.cgroups import BlkioLimits
 from repro.hardware.machine import Machine
@@ -31,6 +38,10 @@ class ResourceAllocation:
     read_bw_limit: Optional[float] = None
     write_bw_limit: Optional[float] = None
     grant_percent: float = DEFAULT_GRANT_PERCENT
+    grant_timeout_s: Optional[float] = None
+    small_query_bypass_bytes: float = 0.0
+    max_queue_depth: Optional[int] = None
+    on_grant_timeout: str = ON_TIMEOUT_DEGRADE
 
     def __post_init__(self):
         if self.logical_cores < 1:
@@ -41,6 +52,16 @@ class ResourceAllocation:
             raise ConfigurationError("max_dop must be >= 1")
         if not 0 < self.grant_percent <= 100:
             raise ConfigurationError("grant percent in (0, 100]")
+        if self.grant_timeout_s is not None and self.grant_timeout_s <= 0:
+            raise ConfigurationError("grant_timeout_s must be positive or None")
+        if self.small_query_bypass_bytes < 0:
+            raise ConfigurationError("small_query_bypass_bytes must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be >= 0 or None")
+        if self.on_grant_timeout not in ON_TIMEOUT_CHOICES:
+            raise ConfigurationError(
+                f"on_grant_timeout must be one of {sorted(ON_TIMEOUT_CHOICES)}"
+            )
 
     @property
     def effective_max_dop(self) -> int:
@@ -76,6 +97,18 @@ class ResourceAllocation:
 
     def with_grant_percent(self, percent: float) -> "ResourceAllocation":
         return replace(self, grant_percent=percent)
+
+    def with_grant_timeout(self, timeout_s: Optional[float]) -> "ResourceAllocation":
+        return replace(self, grant_timeout_s=timeout_s)
+
+    def with_small_query_bypass(self, nbytes: float) -> "ResourceAllocation":
+        return replace(self, small_query_bypass_bytes=nbytes)
+
+    def with_max_queue_depth(self, depth: Optional[int]) -> "ResourceAllocation":
+        return replace(self, max_queue_depth=depth)
+
+    def with_on_grant_timeout(self, policy: str) -> "ResourceAllocation":
+        return replace(self, on_grant_timeout=policy)
 
 
 #: The paper's core-count sweep points (Fig 2 x-axis).

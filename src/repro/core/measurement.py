@@ -44,6 +44,15 @@ class Measurement:
     #: Fault-injection counters (None for fault-free runs); see
     #: :meth:`repro.faults.injector.FaultInjector.summary`.
     fault_summary: Optional[Dict[str, float]] = None
+    # -- RESOURCE_SEMAPHORE overload counters (all zero with overload
+    # -- protection off); see repro.engine.semaphore.ResourceSemaphore.
+    grant_waits: int = 0                #: requests that queued for a grant
+    grant_wait_seconds: float = 0.0     #: total RESOURCE_SEMAPHORE wait time
+    grant_timeouts: int = 0             #: waits that hit grant_timeout_s
+    grant_degrades: int = 0             #: grants shrunk to free memory (spill)
+    grant_bypasses: int = 0             #: small-query bypass admissions
+    grant_throttles: int = 0            #: requests refused a full queue
+    grant_queue_peak: int = 0           #: max concurrent grant waiters
 
     # -- derived observables -------------------------------------------------
 
@@ -93,4 +102,15 @@ class Measurement:
             self.wait_time(WaitType.LOCK)
             + self.wait_time(WaitType.LATCH)
             + self.wait_time(WaitType.PAGELATCH)
+        )
+
+    @property
+    def degraded_gracefully(self) -> bool:
+        """True when overload protection absorbed pressure this run —
+        some request waited, timed out, degraded, or was throttled."""
+        return (
+            self.grant_waits > 0
+            or self.grant_timeouts > 0
+            or self.grant_degrades > 0
+            or self.grant_throttles > 0
         )

@@ -38,7 +38,9 @@ from repro.errors import ConfigurationError
 log = logging.getLogger(__name__)
 
 #: Bump when the serialized Measurement layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2: Measurement grew the grant counters and entries carry a sha256
+#: integrity header, so v1 entries are orphaned via the token.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable consulted for a default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -134,6 +136,7 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.store_errors = 0
+        self.corrupt = 0
 
     def digest(self, config: Any) -> str:
         return config_digest(config, self.token)
@@ -144,29 +147,56 @@ class ResultCache:
     def get(self, config: Any) -> Optional[Measurement]:
         """The cached measurement for *config*, or None.
 
-        Unreadable entries (torn writes from killed processes, format
-        drift pre-dating the token scheme) count as misses and are
-        removed so the slot heals on the next store.
+        Every entry carries a sha256 of its pickle payload; a header
+        mismatch (bit rot, torn write that still parses, manual edits)
+        or any unpickling failure counts as a miss and the damaged file
+        is *quarantined* — renamed to ``.corrupt-<name>`` next to the
+        cache rather than deleted — so the grid point silently re-runs
+        while the evidence survives for diagnosis.
         """
         path = self.path_for(config)
         try:
-            with open(path, "rb") as handle:
-                measurement = pickle.load(handle)
+            blob = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            # Unpickling corrupt bytes can raise almost anything
-            # (UnpicklingError, EOFError, ValueError, AttributeError, ...);
-            # any of them just means the entry is unusable.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            header, _, payload = blob.partition(b"\n")
+            if header != hashlib.sha256(payload).hexdigest().encode("ascii"):
+                raise ValueError("cache entry checksum mismatch")
+            measurement = pickle.loads(payload)
+        except Exception as exc:
+            # Corrupt bytes can raise almost anything (UnpicklingError,
+            # EOFError, ValueError, AttributeError, ...); any of them
+            # just means the entry is unusable.
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return measurement
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        self.corrupt += 1
+        target = path.with_name(f".corrupt-{path.name}")
+        try:
+            os.replace(path, target)
+            log.warning(
+                "cache entry %s is corrupt (%s: %s); quarantined as %s — "
+                "the point will re-run",
+                path.name, type(exc).__name__, exc, target.name,
+            )
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            log.warning(
+                "cache entry %s is corrupt (%s: %s) and could not be "
+                "quarantined; removed", path.name, type(exc).__name__, exc,
+            )
 
     def put(self, config: Any, measurement: Measurement) -> Optional[Path]:
         """Store atomically: write a temp file, then rename into place.
@@ -182,12 +212,14 @@ class ResultCache:
         """
         path = self.path_for(config)
         tmp_name: Optional[str] = None
+        payload = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
+        checksum = hashlib.sha256(payload).hexdigest().encode("ascii")
         try:
             fd, tmp_name = tempfile.mkstemp(
                 dir=self.directory, prefix=".tmp-", suffix=".pkl"
             )
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(measurement, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(checksum + b"\n" + payload)
             os.replace(tmp_name, path)
         except OSError as exc:
             self._cleanup_tmp(tmp_name)
@@ -211,13 +243,20 @@ class ResultCache:
             except OSError:
                 pass
 
+    def _entry_paths(self):
+        """Live entries only — ``.corrupt-*`` quarantine files and
+        ``.tmp-*`` staging files share the directory but are not
+        entries."""
+        return (p for p in self.directory.glob("*.pkl")
+                if not p.name.startswith("."))
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.pkl"))
+        return sum(1 for _ in self._entry_paths())
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for path in self.directory.glob("*.pkl"):
+        for path in self._entry_paths():
             try:
                 path.unlink()
                 removed += 1
@@ -231,4 +270,5 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "store_errors": self.store_errors,
+            "corrupt": self.corrupt,
         }

@@ -40,10 +40,11 @@ from __future__ import annotations
 import logging
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.experiment import Experiment, ExperimentConfig
 from repro.core.journal import (
@@ -189,6 +190,20 @@ class SupervisionPolicy:
         ``"collect"`` keep going and return the holes in the
         :class:`SweepReport`; ``"collect"`` is the intended mode for
         overnight sweeps — failures come back as structured records.
+    ``breaker_threshold``
+        Backpressure circuit breaker (None = off).  The supervisor keeps
+        a sliding window of the last ``breaker_window`` outcomes; once
+        the window is full and its bad fraction reaches the threshold,
+        effective concurrency is *halved* (never below
+        ``breaker_min_jobs``) so an overloaded machine stops receiving
+        more simultaneous work than it can absorb.  "Bad" means a failed
+        attempt, and — with ``breaker_count_degrades`` (the default) —
+        also a success whose measurement shows grant timeouts or
+        degrades: the engine survived, but only by shedding load.  After
+        ``breaker_recovery_successes`` consecutive clean outcomes the
+        window grows back one job at a time (additive increase), AIMD
+        style.  Transitions are counted on the :class:`SweepReport` and
+        recorded as ``breaker`` events in the journal.
     """
 
     timeout: Optional[float] = None
@@ -199,6 +214,11 @@ class SupervisionPolicy:
     on_error: str = "raise"
     retry_timeouts: bool = False
     poll_interval: float = 0.05
+    breaker_threshold: Optional[float] = None
+    breaker_window: int = 8
+    breaker_min_jobs: int = 1
+    breaker_recovery_successes: int = 4
+    breaker_count_degrades: bool = True
 
     def __post_init__(self):
         if self.timeout is not None and self.timeout <= 0:
@@ -213,6 +233,14 @@ class SupervisionPolicy:
             )
         if self.poll_interval <= 0:
             raise ConfigurationError("poll_interval must be positive")
+        if self.breaker_threshold is not None and not 0 < self.breaker_threshold <= 1:
+            raise ConfigurationError("breaker_threshold must be in (0, 1] or None")
+        if self.breaker_window < 1:
+            raise ConfigurationError("breaker_window must be >= 1")
+        if self.breaker_min_jobs < 1:
+            raise ConfigurationError("breaker_min_jobs must be >= 1")
+        if self.breaker_recovery_successes < 1:
+            raise ConfigurationError("breaker_recovery_successes must be >= 1")
 
     def retry_delay(self, failures: int) -> float:
         """Backoff before the attempt following the *failures*-th failure."""
@@ -259,6 +287,8 @@ class SweepReport:
     retries: int = 0
     cache_hits: int = 0
     pool_restarts: int = 0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -273,11 +303,70 @@ class SweepReport:
     def summary(self) -> str:
         total = len(self.measurements)
         done = len(self.successes())
-        return (
+        text = (
             f"{done}/{total} configs measured "
             f"({self.cache_hits} cached, {len(self.failures)} failed, "
             f"{self.retries} retries, {self.pool_restarts} pool restarts)"
         )
+        if self.breaker_trips or self.breaker_recoveries:
+            text += (
+                f"; breaker tripped {self.breaker_trips}x, "
+                f"recovered {self.breaker_recoveries}x"
+            )
+        return text
+
+
+class _CircuitBreaker:
+    """AIMD concurrency governor over the supervisor's in-flight window.
+
+    Multiplicative decrease: when the bad fraction of a full sliding
+    window reaches the threshold, the job window halves (floor at
+    ``breaker_min_jobs``) and the window resets so one burst cannot trip
+    the breaker repeatedly.  Additive increase: every
+    ``breaker_recovery_successes`` consecutive clean outcomes win back
+    one job, up to the configured maximum.  Disabled (every observation
+    a no-op) when the policy carries no threshold — and structurally
+    inert at ``jobs=1``, where there is nothing left to halve.
+    """
+
+    def __init__(self, policy: SupervisionPolicy, jobs: int):
+        self.policy = policy
+        self.max_jobs = jobs
+        self.jobs = jobs
+        self._recent: Deque[bool] = deque(maxlen=policy.breaker_window)
+        self._streak = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy.breaker_threshold is not None
+
+    def observe(self, bad: bool) -> Optional[str]:
+        """Feed one outcome; returns ``"trip"``/``"recover"`` on a
+        concurrency change, None otherwise."""
+        if not self.enabled:
+            return None
+        self._recent.append(bad)
+        if bad:
+            self._streak = 0
+            window = self.policy.breaker_window
+            if (
+                len(self._recent) == window
+                and sum(self._recent) / window >= self.policy.breaker_threshold
+                and self.jobs > self.policy.breaker_min_jobs
+            ):
+                self.jobs = max(self.policy.breaker_min_jobs, self.jobs // 2)
+                self._recent.clear()
+                return "trip"
+            return None
+        self._streak += 1
+        if (
+            self.jobs < self.max_jobs
+            and self._streak >= self.policy.breaker_recovery_successes
+        ):
+            self.jobs += 1
+            self._streak = 0
+            return "recover"
+        return None
 
 
 @dataclass
@@ -322,6 +411,7 @@ class _Supervisor:
         self.journal = journal
         self.report = SweepReport(measurements=[None] * len(self.configs))
         self._token = cache.token if cache is not None else None
+        self._breaker = _CircuitBreaker(policy, jobs)
 
     # -- digests / journal -----------------------------------------------------
 
@@ -345,6 +435,29 @@ class _Supervisor:
         self._journal_record(item, STATUS_OK)
         if self.cache is not None:
             self.cache.put(item.config, measurement)
+        degraded = measurement.grant_timeouts > 0 or measurement.grant_degrades > 0
+        self._breaker_observe(self.policy.breaker_count_degrades and degraded)
+
+    def _breaker_observe(self, bad: bool) -> None:
+        """Feed one outcome to the breaker; publish any transition."""
+        transition = self._breaker.observe(bad)
+        if transition is None:
+            return
+        if transition == "trip":
+            self.report.breaker_trips += 1
+            log.warning(
+                "circuit breaker tripped: effective concurrency halved to %d",
+                self._breaker.jobs,
+            )
+        else:
+            self.report.breaker_recoveries += 1
+            log.info(
+                "circuit breaker recovering: effective concurrency now %d",
+                self._breaker.jobs,
+            )
+        if self.journal is not None:
+            self.journal.note("breaker", transition=transition,
+                              jobs=self._breaker.jobs)
 
     def _fail(self, item: _Item, kind: str, exc: Optional[BaseException]) -> bool:
         """Record one failed attempt.
@@ -360,6 +473,7 @@ class _Supervisor:
         )
         message = f"{type(exc).__name__}: {exc}" if exc is not None else kind
         self._journal_record(item, status, error=message)
+        self._breaker_observe(True)
         item.failures += 1
         if self.policy.retryable(kind) and item.failures <= self.policy.retries:
             self.report.retries += 1
@@ -464,9 +578,11 @@ class _Supervisor:
                 # Submit every eligible item up to the in-flight window
                 # (submission is deferred while the window is full so the
                 # per-attempt clock starts when the attempt actually can).
-                # During quarantine the window narrows to one suspect.
+                # During quarantine the window narrows to one suspect;
+                # otherwise the circuit breaker governs how much
+                # concurrency the machine is currently trusted with.
                 source = suspects if suspects else waiting
-                window = 1 if suspects else self.jobs
+                window = 1 if suspects else self._breaker.jobs
                 ready = [it for it in source if it.eligible <= now]
                 for item in ready:
                     if len(running) >= window:

@@ -22,6 +22,7 @@ from repro.engine.optimizer.optimizer import OptimizedQuery, Optimizer, Planning
 from repro.engine.optimizer.queryspec import QuerySpec
 from repro.engine.plancache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.semaphore import ResourceSemaphore
 from repro.engine.sqlos import ExecutionCharacteristics, SqlOs
 from repro.engine.wal import WriteAheadLog
 from repro.hardware.machine import Machine
@@ -51,6 +52,12 @@ class SqlEngine:
         self.memory_pool = QueryMemoryPool(
             server_memory_bytes=machine.dram.capacity_bytes,
             grant_percent=governor.grant_percent,
+        )
+        # RESOURCE_SEMAPHORE: grant queueing + graceful degradation under
+        # saturation.  Disabled (exact pass-through) unless the governor
+        # carries an overload knob.
+        self.semaphore = ResourceSemaphore(
+            sim=machine.sim, pool=self.memory_pool, governor=governor
         )
         # Memory promised to concurrently-running queries is unavailable
         # to the buffer pool — this couples §8's grant knob to IO volume.
@@ -116,14 +123,25 @@ class SqlEngine:
     # -- execution ------------------------------------------------------------------
 
     def run_query(self, spec: QuerySpec, dop_hint: int = 0) -> Generator:
-        """Generator: optimize, admit, and execute one query.
+        """Generator: optimize, admit through the semaphore, and execute.
 
-        Returns an :class:`~repro.engine.executor.ExecutionResult`.
+        Admission may suspend (RESOURCE_SEMAPHORE queueing), time out
+        into a degraded grant that spills, or raise
+        :class:`~repro.errors.GrantTimeoutError`, depending on the
+        governor's overload policy; with protection off it is the
+        historical instant admission.  Returns an
+        :class:`~repro.engine.executor.ExecutionResult`.
         """
         optimized = self.optimize(spec, dop_hint=dop_hint)
-        grant = self.admit(optimized)
-        demand = self.executor.demand_for_query(optimized, grant)
-        result = yield from self.executor.execute_query(demand)
+        ticket = yield from self.semaphore.acquire(
+            optimized.required_memory_bytes, name=spec.name
+        )
+        try:
+            demand = self.executor.demand_for_query(optimized, ticket.grant)
+            result = yield from self.executor.execute_query(demand)
+        finally:
+            self.semaphore.release(ticket)
+        result.grant_wait = ticket.waited
         return result
 
     def run_transaction(self, demand: TransactionDemand) -> Generator:

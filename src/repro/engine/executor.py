@@ -83,17 +83,29 @@ class TransactionDemand:
 
 @dataclass
 class ExecutionResult:
-    """Timing record of a completed query or transaction."""
+    """Timing record of a completed query or transaction.
+
+    ``grant_wait`` is time spent queued behind RESOURCE_SEMAPHORE before
+    execution started (always 0 with overload protection off); it is
+    *not* part of ``start``..``end``, so ``elapsed + grant_wait`` is the
+    client-observed latency.
+    """
 
     name: str
     start: float
     end: float
     io_wait: float = 0.0
     lock_wait: float = 0.0
+    grant_wait: float = 0.0
 
     @property
     def elapsed(self) -> float:
         return self.end - self.start
+
+    @property
+    def client_latency(self) -> float:
+        """Latency as the submitting client saw it: queue + execution."""
+        return self.grant_wait + self.elapsed
 
 
 #: Wall-clock startup/coordination cost of a parallel query: thread

@@ -1,16 +1,41 @@
-"""Resource governor: MAXDOP, grant percent, and affinity (§3, §4, §7).
+"""Resource governor: MAXDOP, grant percent, affinity, and overload knobs.
 
 The paper restricts cores with cpuset *and* caps MAXDOP with "SQL Server's
 resource governor settings"; §7 additionally uses the MAXDOP query hint.
-This object carries those engine-side settings.
+This object carries those engine-side settings, plus the
+RESOURCE_SEMAPHORE overload-protection policy consumed by
+:class:`~repro.engine.semaphore.ResourceSemaphore`:
+
+``grant_timeout_s``
+    How long a grant request may queue before it times out (None = wait
+    forever, i.e. queueing without a deadline).
+``small_query_bypass_bytes``
+    Requests at or below this size skip the queue entirely (the
+    small-query semaphore).  0 disables the bypass.
+``max_queue_depth``
+    Admission throttle: a request arriving at a full queue is degraded
+    (or failed) immediately instead of joining the convoy.
+``on_grant_timeout``
+    ``"degrade"`` shrinks a timed-out (or throttled) grant to whatever
+    is free and takes the spill path; ``"fail"`` raises
+    :class:`~repro.errors.GrantTimeoutError`.
+
+With every overload knob at its default the semaphore stays disabled and
+admission is the historical unconditional ``QueryMemoryPool.admit``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.calibration import DEFAULT_GRANT_PERCENT
 from repro.errors import ConfigurationError
+
+#: ``on_grant_timeout`` policies.
+ON_TIMEOUT_DEGRADE = "degrade"
+ON_TIMEOUT_FAIL = "fail"
+ON_TIMEOUT_CHOICES = (ON_TIMEOUT_DEGRADE, ON_TIMEOUT_FAIL)
 
 
 @dataclass(frozen=True)
@@ -19,12 +44,41 @@ class ResourceGovernor:
 
     max_dop: int = 32
     grant_percent: float = DEFAULT_GRANT_PERCENT
+    grant_timeout_s: Optional[float] = None
+    small_query_bypass_bytes: float = 0.0
+    max_queue_depth: Optional[int] = None
+    on_grant_timeout: str = ON_TIMEOUT_DEGRADE
 
     def __post_init__(self):
         if self.max_dop < 1:
             raise ConfigurationError("max_dop must be >= 1")
         if not 0 < self.grant_percent <= 100:
             raise ConfigurationError("grant percent in (0, 100]")
+        if self.grant_timeout_s is not None and self.grant_timeout_s <= 0:
+            raise ConfigurationError("grant_timeout_s must be positive (or None)")
+        if self.small_query_bypass_bytes < 0:
+            raise ConfigurationError("small_query_bypass_bytes must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be >= 0 (or None)")
+        if self.on_grant_timeout not in ON_TIMEOUT_CHOICES:
+            raise ConfigurationError(
+                f"on_grant_timeout must be one of {ON_TIMEOUT_CHOICES}, "
+                f"got {self.on_grant_timeout!r}"
+            )
+
+    @property
+    def overload_protection_enabled(self) -> bool:
+        """Whether grant admission goes through the RESOURCE_SEMAPHORE.
+
+        Any non-default overload knob switches the queueing layer on;
+        all-default settings keep the historical instant-admission path
+        (and its exact timing).
+        """
+        return (
+            self.grant_timeout_s is not None
+            or self.small_query_bypass_bytes > 0
+            or self.max_queue_depth is not None
+        )
 
     def effective_dop(self, allocated_logical_cpus: int, hint: int = 0) -> int:
         """DOP after the governor cap, core allocation, and query hint.

@@ -75,6 +75,42 @@ def dm_exec_query_memory_grants(engine: SqlEngine, specs) -> List[MemoryGrantRow
 
 
 @dataclass(frozen=True)
+class ResourceSemaphoreRow:
+    """A ``dm_exec_query_resource_semaphores``-style snapshot of the
+    grant queue: pool state plus the cumulative overload counters."""
+
+    pool_kb: float
+    available_kb: float
+    waiter_count: int
+    grant_requests: int
+    grant_waits: int
+    grant_wait_ms: float
+    grant_timeouts: int
+    grant_degrades: int
+    grant_bypasses: int
+    grant_throttles: int
+    grant_queue_peak: int
+
+
+def dm_exec_query_resource_semaphores(engine: SqlEngine) -> ResourceSemaphoreRow:
+    sem = engine.semaphore
+    stats = sem.summary()
+    return ResourceSemaphoreRow(
+        pool_kb=sem.pool_bytes / 1024.0,
+        available_kb=sem.free_bytes / 1024.0,
+        waiter_count=sem.waiter_count,
+        grant_requests=stats["grant_requests"],
+        grant_waits=stats["grant_waits"],
+        grant_wait_ms=stats["grant_wait_seconds"] * 1000.0,
+        grant_timeouts=stats["grant_timeouts"],
+        grant_degrades=stats["grant_degrades"],
+        grant_bypasses=stats["grant_bypasses"],
+        grant_throttles=stats["grant_throttles"],
+        grant_queue_peak=stats["grant_queue_peak"],
+    )
+
+
+@dataclass(frozen=True)
 class BufferPoolSummary:
     """A ``dm_os_buffer_descriptors`` aggregate."""
 

@@ -35,6 +35,24 @@ class WorkloadError(ReproError):
     """A workload was asked to run against an incompatible configuration."""
 
 
+class GrantTimeoutError(ReproError):
+    """A query-memory grant request waited past the governor's timeout.
+
+    Raised by :class:`~repro.engine.semaphore.ResourceSemaphore` when
+    ``on_grant_timeout="fail"`` and a request either exceeds
+    ``grant_timeout_s`` in the FIFO queue or arrives at a full queue
+    (``max_queue_depth``).  Carries the query name, the wait time, and
+    the requested bytes so a sweep failure names its victim.
+    """
+
+    def __init__(self, message: str, query: str = "",
+                 waited: float = 0.0, required_bytes: float = 0.0):
+        super().__init__(message)
+        self.query = query
+        self.waited = waited
+        self.required_bytes = required_bytes
+
+
 class FaultInjectionError(ReproError):
     """A fault-injection spec is invalid or a fault fired incorrectly."""
 

@@ -25,6 +25,7 @@ from repro.faults.spec import (
     CoreOffline,
     CrashPoint,
     FaultSpec,
+    GrantStorm,
     HarnessFault,
     SimulationFault,
     StorageBrownout,
@@ -47,6 +48,7 @@ __all__ = [
     "CrashPoint",
     "FaultInjector",
     "FaultSpec",
+    "GrantStorm",
     "HarnessFault",
     "RecoveryResult",
     "SimulationFault",

@@ -24,6 +24,7 @@ from repro.faults.recovery import WalImage, recover, verify_committed_durable
 from repro.faults.spec import (
     CoreOffline,
     CrashPoint,
+    GrantStorm,
     SimulationFault,
     StorageBrownout,
     TransientWriteErrors,
@@ -47,6 +48,8 @@ class FaultInjector:
         self.events: List[Tuple[float, str]] = []
         self.crash_recoveries = 0
         self.replayed_records = 0
+        self.storm_grants = 0
+        self.storm_rejections = 0
         self._error_windows = 0
         self._rng = machine.streams.get("faults.io")
 
@@ -67,6 +70,9 @@ class FaultInjector:
             elif isinstance(fault, CrashPoint):
                 self.machine.sim.spawn(self._drive_crash(fault),
                                        name="fault-crash")
+            elif isinstance(fault, GrantStorm):
+                self.machine.sim.spawn(self._drive_grant_storm(fault),
+                                       name="fault-grant-storm")
             else:
                 raise FaultInjectionError(
                     f"no driver for simulation fault {type(fault).__name__}"
@@ -151,6 +157,44 @@ class FaultInjector:
         )
         return None
 
+    def _drive_grant_storm(self, fault: GrantStorm) -> Generator:
+        if self.engine is None:
+            raise FaultInjectionError("a grant storm needs an engine")
+        yield Timeout(fault.at)
+        semaphore = self.engine.semaphore
+        nbytes = semaphore.pool_bytes * fault.pool_fraction
+        for index in range(fault.queries):
+            self.machine.sim.spawn(
+                self._storm_query(semaphore, nbytes, fault.hold_seconds, index),
+                name=f"storm-query-{index}",
+            )
+        self._log(
+            f"grant storm: {fault.queries} requests x {nbytes:.0f} B, "
+            f"held {fault.hold_seconds}s"
+        )
+        return None
+
+    def _storm_query(self, semaphore, nbytes: float, hold: float,
+                     index: int) -> Generator:
+        """One storm participant: acquire, hold, release.
+
+        Goes through the same acquire path as real queries, so storm
+        requests queue, time out, and degrade under the governor's
+        policy like any other — and always release what they charged.
+        """
+        try:
+            ticket = yield from semaphore.acquire(nbytes, name=f"storm-{index}")
+        except Exception:
+            self.storm_rejections += 1
+            self._log(f"storm-{index}: rejected at admission")
+            return None
+        self.storm_grants += 1
+        try:
+            yield Timeout(hold)
+        finally:
+            semaphore.release(ticket)
+        return None
+
     # -- reporting -------------------------------------------------------------
 
     def summary(self) -> Dict[str, float]:
@@ -162,5 +206,7 @@ class FaultInjector:
             "wal_flush_retries": float(wal_retries),
             "crash_recoveries": float(self.crash_recoveries),
             "replayed_records": float(self.replayed_records),
+            "storm_grants": float(self.storm_grants),
+            "storm_rejections": float(self.storm_rejections),
             "events": float(len(self.events)),
         }

@@ -123,6 +123,36 @@ class CrashPoint(SimulationFault):
 
 
 @dataclass(frozen=True)
+class GrantStorm(SimulationFault):
+    """A burst of memory-grant requests flooding RESOURCE_SEMAPHORE.
+
+    At ``at``, ``queries`` synthetic grant requests arrive at once, each
+    asking for ``pool_fraction`` of the query-memory pool and holding its
+    grant for ``hold_seconds`` before releasing.  Models a surge of
+    ad-hoc analytics landing on a loaded server — the overload the §10
+    admission policies exist to absorb.  With overload protection off
+    the storm is invisible (admission is unconditional and nothing is
+    charged); with it on, the storm drives real queries into the grant
+    queue and through the timeout/degrade paths.
+    """
+
+    at: float
+    queries: int = 8
+    pool_fraction: float = 0.25
+    hold_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise FaultInjectionError("storm needs at >= 0")
+        if self.queries < 1:
+            raise FaultInjectionError("storm needs queries >= 1")
+        if not 0 < self.pool_fraction <= 1.0:
+            raise FaultInjectionError("pool_fraction must be in (0, 1]")
+        if self.hold_seconds <= 0:
+            raise FaultInjectionError("hold_seconds must be positive")
+
+
+@dataclass(frozen=True)
 class WorkerCrash(HarnessFault):
     """Kill the worker process running this config (first ``attempts`` tries).
 

@@ -132,8 +132,8 @@ class HtapWorkload(OltpWorkloadBase):
                 if sim.now >= until:
                     break
                 result = yield from engine.run_query(spec)
-                tracker.record("query", result.elapsed)
-                tracker.record(spec.name, result.elapsed)
+                tracker.record("query", result.client_latency)
+                tracker.record(spec.name, result.client_latency)
         return None
 
     def analytics_qph(self, tracker: ThroughputTracker, elapsed: float) -> float:

@@ -1,6 +1,7 @@
 """Tests for the content-addressed result cache: canonical hashing,
 calibration tokens, atomic storage, and corruption healing."""
 
+import hashlib
 import pickle
 
 import pytest
@@ -86,7 +87,7 @@ class TestResultCache:
         assert hit is not None
         assert hit.primary_metric == measurement.primary_metric
         assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
-                                 "store_errors": 0}
+                                 "store_errors": 0, "corrupt": 0}
         assert len(cache) == 1
 
     def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
@@ -196,3 +197,53 @@ class TestDefaultCacheDir:
     def test_env_sets_the_directory(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
         assert default_cache_dir() == tmp_path
+
+
+class TestQuarantine:
+    """Satellite: corrupt entries are preserved for post-mortem, not
+    deleted — renamed to ``.corrupt-<name>`` beside the cache."""
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        path = cache.put(config, run_experiment("asdb", 2000, duration=3.0))
+        garbage = b"torn write from a killed process"
+        path.write_bytes(garbage)
+        assert cache.get(config) is None
+        assert not path.exists()
+        quarantined = tmp_path / f".corrupt-{path.name}"
+        assert quarantined.exists()
+        assert quarantined.read_bytes() == garbage
+        assert cache.corrupt == 1
+        assert cache.stats()["corrupt"] == 1
+
+    def test_checksum_catches_a_valid_but_wrong_pickle(self, tmp_path):
+        """A flipped payload that still unpickles cleanly is caught by
+        the sha256 header, not by the unpickler."""
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        path = cache.put(config, run_experiment("asdb", 2000, duration=3.0))
+        header, _, _ = path.read_bytes().partition(b"\n")
+        path.write_bytes(header + b"\n" + pickle.dumps({"not": "it"}))
+        assert cache.get(config) is None
+        assert (tmp_path / f".corrupt-{path.name}").exists()
+        assert cache.stats()["corrupt"] == 1
+
+    def test_entries_carry_a_sha256_payload_header(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(make_config(),
+                         run_experiment("asdb", 2000, duration=3.0))
+        header, _, payload = path.read_bytes().partition(b"\n")
+        assert header == hashlib.sha256(payload).hexdigest().encode("ascii")
+
+    def test_quarantined_files_are_invisible_to_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        path = cache.put(config, measurement)
+        path.write_bytes(b"junk")
+        assert cache.get(config) is None   # quarantines
+        cache.put(config, measurement)     # heals
+        assert len(cache) == 1             # .corrupt-* not counted
+        assert cache.clear() == 1          # ... and not cleared
+        assert (tmp_path / f".corrupt-{path.name}").exists()

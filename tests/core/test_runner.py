@@ -115,10 +115,10 @@ class TestCachedRuns:
         cache = ResultCache(tmp_path)
         cold = run_configs(configs, cache=cache)
         assert cache.stats() == {"hits": 0, "misses": 3, "stores": 3,
-                                 "store_errors": 0}
+                                 "store_errors": 0, "corrupt": 0}
         warm = run_configs(configs, cache=cache)
         assert cache.stats() == {"hits": 3, "misses": 3, "stores": 3,
-                                 "store_errors": 0}
+                                 "store_errors": 0, "corrupt": 0}
         assert [fingerprint(m) for m in cold] == \
             [fingerprint(m) for m in warm]
 

@@ -1,0 +1,407 @@
+"""Tests for the RESOURCE_SEMAPHORE grant queue (overload tentpole).
+
+The harness uses a tiny float pool so the geometry is easy to reason
+about: ``QueryMemoryPool(server_memory_bytes=100.0, grant_percent=25.0)``
+yields a 57.6-byte pool with a 14.4-byte per-query cap — exactly four
+cap-sized grants fit, a fifth waits.
+"""
+
+import pytest
+
+from repro.engine.memory_grants import QueryMemoryPool
+from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.semaphore import GrantTicket, ResourceSemaphore
+from repro.errors import GrantTimeoutError, SimulationError
+from repro.sim.process import Simulator, Timeout
+
+
+def make_semaphore(**governor_knobs):
+    sim = Simulator()
+    grant_percent = governor_knobs.get("grant_percent", 25.0)
+    pool = QueryMemoryPool(server_memory_bytes=100.0,
+                           grant_percent=grant_percent)
+    governor = ResourceGovernor(**governor_knobs)
+    return sim, ResourceSemaphore(sim, pool, governor)
+
+
+def holder(sim, sem, nbytes, hold, tickets, releases=None):
+    """Acquire, hold for `hold` seconds, release; record the ticket."""
+    def proc():
+        ticket = yield from sem.acquire(nbytes, name=f"q{len(tickets)}")
+        tickets.append(ticket)
+        yield Timeout(hold)
+        sem.release(ticket)
+        if releases is not None:
+            releases.append(sim.now)
+    return proc
+
+
+class TestPassThrough:
+    def test_disabled_by_default(self):
+        _, sem = make_semaphore()
+        assert not sem.enabled
+
+    def test_disabled_acquire_never_charges_or_yields(self):
+        sim, sem = make_semaphore()
+        tickets = []
+        # Six cap-sized requests against a four-slot pool: with the
+        # semaphore off, all are admitted instantly and nothing queues.
+        for _ in range(6):
+            sim.spawn(holder(sim, sem, 50.0, 1.0, tickets)())
+        sim.run()
+        assert len(tickets) == 6
+        assert all(t.charged_bytes == 0.0 for t in tickets)
+        assert all(t.waited == 0.0 for t in tickets)
+        assert sem.requests == 6
+        assert sem.waits == 0
+        assert sem.queue_peak == 0
+
+    def test_enabled_flag_follows_governor(self):
+        for knobs in (
+            dict(grant_timeout_s=10.0),
+            dict(small_query_bypass_bytes=1.0),
+            dict(max_queue_depth=4),
+        ):
+            _, sem = make_semaphore(**knobs)
+            assert sem.enabled
+
+
+class TestUncontendedInvariance:
+    def test_enabled_but_uncontended_never_suspends(self):
+        """The key invariance property: with protection on but the pool
+        never full, acquire() runs start to finish without yielding, so
+        timing is bit-identical to the pass-through path."""
+        sim, sem = make_semaphore(grant_timeout_s=10.0)
+        finish_times = []
+        tickets = []
+        for _ in range(4):   # exactly fills the pool, nobody waits
+            sim.spawn(holder(sim, sem, 50.0, 1.0, tickets, finish_times)())
+        sim.run()
+        assert finish_times == [1.0, 1.0, 1.0, 1.0]
+        assert sem.waits == 0
+        assert sem.wait_seconds == 0.0
+        assert all(t.waited == 0.0 and not t.degraded for t in tickets)
+        # ... but the pool accounting was live:
+        assert all(t.charged_bytes == pytest.approx(14.4) for t in tickets)
+        assert sem.free_bytes == pytest.approx(sem.pool_bytes)
+
+
+class TestFifoQueue:
+    def test_fifth_request_waits_for_first_release(self):
+        sim, sem = make_semaphore(grant_timeout_s=100.0)
+        tickets, releases = [], []
+        for _ in range(6):
+            sim.spawn(holder(sim, sem, 50.0, 2.0, tickets, releases)())
+        sim.run()
+        # Four run at t=0; two wait until the t=2.0 releases free slots.
+        assert len(tickets) == 6
+        waits = sorted(t.waited for t in tickets)
+        assert waits == pytest.approx([0.0, 0.0, 0.0, 0.0, 2.0, 2.0])
+        assert sem.waits == 2
+        assert sem.wait_seconds == pytest.approx(4.0)
+        assert sem.timeouts == 0
+        assert sem.queue_peak == 2
+        assert not any(t.degraded for t in tickets)
+
+    def test_grants_are_fifo_ordered(self):
+        sim, sem = make_semaphore(grant_timeout_s=100.0)
+        order = []
+
+        def client(label, hold):
+            def proc():
+                ticket = yield from sem.acquire(50.0, name=label)
+                order.append((label, sim.now))
+                yield Timeout(hold)
+                sem.release(ticket)
+            return proc
+
+        # Four holders with staggered hold times, then three waiters
+        # spawned in a known order: waiters must be granted in spawn
+        # order even though releases happen one at a time.
+        for i, hold in enumerate((1.0, 2.0, 3.0, 4.0)):
+            sim.spawn(client(f"h{i}", hold)())
+        for i in range(3):
+            sim.spawn(client(f"w{i}", 0.5)())
+        sim.run()
+        granted_waiters = [lbl for lbl, _ in order if lbl.startswith("w")]
+        assert granted_waiters == ["w0", "w1", "w2"]
+        grant_times = {lbl: t for lbl, t in order}
+        # w0 rides h0's release; w1 rides w0's own release at 1.5 (a
+        # released waiter slot is a slot like any other); w2 rides the
+        # t=2.0 releases.
+        assert grant_times["w0"] == 1.0
+        assert grant_times["w1"] == 1.5
+        assert grant_times["w2"] == 2.0
+
+    def test_head_of_line_blocks_smaller_request(self):
+        """Strict FIFO: a small request behind a big one waits even when
+        the small one would fit — that head-of-line convoy is the real
+        semaphore's behavior."""
+        sim, sem = make_semaphore(
+            grant_timeout_s=100.0, grant_percent=100.0
+        )
+        order = []
+
+        def client(label, nbytes, hold):
+            def proc():
+                ticket = yield from sem.acquire(nbytes, name=label)
+                order.append(label)
+                yield Timeout(hold)
+                sem.release(ticket)
+            return proc
+
+        sim.spawn(client("holder", 40.0, 2.0)())   # leaves 17.6 free
+        sim.spawn(client("big", 30.0, 1.0)())      # does not fit: queues
+        sim.spawn(client("small", 5.0, 1.0)())     # would fit, but FIFO
+        sim.run()
+        assert order == ["holder", "big", "small"]
+
+
+class TestSmallQueryBypass:
+    def test_bypass_boundary_is_inclusive(self):
+        sim, sem = make_semaphore(
+            small_query_bypass_bytes=5.0, grant_timeout_s=100.0
+        )
+        tickets = []
+
+        def one(nbytes):
+            def proc():
+                ticket = yield from sem.acquire(nbytes)
+                tickets.append(ticket)
+                sem.release(ticket)
+            return proc
+
+        sim.spawn(one(5.0)())    # exactly at the boundary: bypasses
+        sim.spawn(one(5.0001)()) # just over: normal path
+        sim.run()
+        assert tickets[0].bypassed
+        assert not tickets[1].bypassed
+        assert sem.bypasses == 1
+
+    def test_bypass_jumps_a_full_queue(self):
+        sim, sem = make_semaphore(
+            small_query_bypass_bytes=5.0, grant_timeout_s=100.0
+        )
+        order = []
+
+        def client(label, nbytes, hold):
+            def proc():
+                ticket = yield from sem.acquire(nbytes, name=label)
+                order.append((label, sim.now))
+                yield Timeout(hold)
+                sem.release(ticket)
+            return proc
+
+        for i in range(4):
+            sim.spawn(client(f"h{i}", 50.0, 2.0)())
+        sim.spawn(client("queued", 50.0, 1.0)())
+        sim.spawn(client("tiny", 2.0, 1.0)())
+        sim.run()
+        grant_times = dict(order)
+        assert grant_times["tiny"] == 0.0      # bypassed the convoy
+        assert grant_times["queued"] == 2.0    # waited for a release
+        assert sem.bypasses == 1
+
+    def test_zero_byte_request_is_not_a_bypass(self):
+        sim, sem = make_semaphore(small_query_bypass_bytes=5.0)
+        tickets = []
+
+        def proc():
+            ticket = yield from sem.acquire(0.0)
+            tickets.append(ticket)
+            sem.release(ticket)
+
+        sim.spawn(proc())
+        sim.run()
+        assert not tickets[0].bypassed
+        assert sem.bypasses == 0
+
+
+class TestTimeoutPolicies:
+    def test_timeout_degrades_to_free_memory(self):
+        sim, sem = make_semaphore(grant_timeout_s=1.0)
+        tickets = []
+        for _ in range(6):
+            sim.spawn(holder(sim, sem, 50.0, 2.0, tickets)())
+        sim.run()
+        degraded = [t for t in tickets if t.degraded]
+        assert len(degraded) == 2
+        assert sem.timeouts == 2
+        assert sem.degrades == 2
+        for t in degraded:
+            assert t.waited == pytest.approx(1.0)
+            # Nothing was free when the timer fired, so the grant shrank
+            # to zero and the query takes the full spill path.
+            assert t.grant.granted_bytes == 0.0
+            assert t.grant.spills
+
+    def test_timeout_fail_raises_grant_timeout_error(self):
+        sim, sem = make_semaphore(
+            grant_timeout_s=1.0, on_grant_timeout="fail"
+        )
+        errors = []
+        tickets = []
+
+        def failing():
+            try:
+                ticket = yield from sem.acquire(50.0, name="victim")
+            except GrantTimeoutError as exc:
+                errors.append(exc)
+                return
+            tickets.append(ticket)
+            yield Timeout(2.0)
+            sem.release(ticket)
+
+        for _ in range(5):
+            sim.spawn(failing())
+        sim.run()
+        assert len(errors) == 1
+        err = errors[0]
+        assert err.query == "victim"
+        assert err.waited == pytest.approx(1.0)
+        assert err.required_bytes == 50.0
+        assert sem.timeouts == 1
+        assert sem.degrades == 0
+
+    def test_granted_waiter_cancels_its_timer(self):
+        """A waiter granted before its deadline must not later 'expire';
+        the run ends cleanly with no timeout counted."""
+        sim, sem = make_semaphore(grant_timeout_s=5.0)
+        tickets = []
+        for _ in range(5):
+            sim.spawn(holder(sim, sem, 50.0, 2.0, tickets)())
+        sim.run()
+        assert sem.timeouts == 0
+        assert sem.waits == 1
+        assert len(tickets) == 5
+
+    def test_expired_waiter_unblocks_queue_behind_it(self):
+        """When the head times out, _drain runs so a fitting request
+        behind it is granted at the same instant."""
+        sim, sem = make_semaphore(grant_timeout_s=1.0, grant_percent=100.0)
+        order = []
+
+        def client(label, nbytes, hold):
+            def proc():
+                ticket = yield from sem.acquire(nbytes, name=label)
+                order.append((label, sim.now, ticket.degraded))
+                yield Timeout(hold)
+                sem.release(ticket)
+            return proc
+
+        # holder takes 40 of the 57.6-byte pool for 3s; "big" (30)
+        # queues at the head and times out at t=1; "small" (10) fits as
+        # soon as the head departs.
+        sim.spawn(client("holder", 40.0, 3.0)())
+        sim.spawn(client("big", 30.0, 1.0)())
+        sim.spawn(client("small", 10.0, 1.0)())
+        sim.run()
+        granted = {lbl: (t, deg) for lbl, t, deg in order}
+        assert granted["big"] == (1.0, True)
+        assert granted["small"] == (1.0, False)
+        assert sem.timeouts == 1
+
+
+class TestAdmissionThrottle:
+    def test_full_queue_degrades_immediately(self):
+        sim, sem = make_semaphore(max_queue_depth=1, grant_timeout_s=100.0)
+        tickets = []
+        for _ in range(6):
+            sim.spawn(holder(sim, sem, 50.0, 2.0, tickets)())
+        sim.run()
+        # 4 admitted, 1 queued; the 6th hits the depth-1 queue and is
+        # throttled into an instant degraded grant.
+        assert sem.throttles == 1
+        assert sem.degrades == 1
+        throttled = [t for t in tickets if t.degraded]
+        assert len(throttled) == 1
+        assert throttled[0].waited == 0.0
+
+    def test_full_queue_fails_under_fail_policy(self):
+        sim, sem = make_semaphore(
+            max_queue_depth=0, grant_timeout_s=100.0, on_grant_timeout="fail"
+        )
+        errors = []
+
+        def impatient():
+            try:
+                ticket = yield from sem.acquire(50.0, name="turned-away")
+            except GrantTimeoutError as exc:
+                errors.append(exc)
+                return
+            yield Timeout(2.0)
+            sem.release(ticket)
+
+        for _ in range(5):
+            sim.spawn(impatient())
+        sim.run()
+        assert len(errors) == 1
+        assert errors[0].waited == 0.0
+        assert sem.throttles == 1
+        assert sem.timeouts == 0
+
+    def test_queue_peak_tracks_high_water_mark(self):
+        sim, sem = make_semaphore(grant_timeout_s=100.0)
+        tickets = []
+        for _ in range(9):
+            sim.spawn(holder(sim, sem, 50.0, 1.0, tickets)())
+        sim.run()
+        assert sem.queue_peak == 5
+        assert len(tickets) == 9
+
+
+class TestReleaseAccounting:
+    def test_release_restores_free_bytes(self):
+        sim, sem = make_semaphore(grant_timeout_s=10.0)
+        tickets = []
+        sim.spawn(holder(sim, sem, 50.0, 1.0, tickets)())
+        sim.run()
+        assert sem.free_bytes == pytest.approx(sem.pool_bytes)
+
+    def test_double_release_of_whole_grant_raises(self):
+        sim, sem = make_semaphore(grant_timeout_s=10.0)
+        tickets = []
+        sim.spawn(holder(sim, sem, 50.0, 1.0, tickets)())
+        sim.run()
+        with pytest.raises(SimulationError):
+            sem.release(tickets[0])
+
+    def test_subbyte_drift_is_tolerated(self):
+        """Float charges at GB magnitudes accumulate ulp-scale error;
+        release clamps small negatives instead of crashing the run."""
+        sim, sem = make_semaphore(grant_timeout_s=10.0)
+        sem._charged = -0.5   # sub-byte drift, not a double release
+        sem.release(GrantTicket(
+            grant=sem._pool.admit(1.0), charged_bytes=0.4
+        ))
+        assert sem._charged == 0.0
+
+    def test_pass_through_ticket_release_is_a_noop(self):
+        sim, sem = make_semaphore()   # disabled
+        tickets = []
+        sim.spawn(holder(sim, sem, 50.0, 1.0, tickets)())
+        sim.run()
+        sem.release(tickets[0])   # idempotent: charged_bytes == 0
+        assert sem._charged == 0.0
+
+
+class TestSummary:
+    def test_summary_keys_and_counts(self):
+        sim, sem = make_semaphore(grant_timeout_s=1.0,
+                                  small_query_bypass_bytes=5.0)
+        tickets = []
+        for _ in range(6):
+            sim.spawn(holder(sim, sem, 50.0, 2.0, tickets)())
+        sim.spawn(holder(sim, sem, 2.0, 0.5, tickets)())
+        sim.run()
+        summary = sem.summary()
+        assert summary == {
+            "grant_requests": 7.0,
+            "grant_waits": 2.0,
+            "grant_wait_seconds": pytest.approx(2.0),
+            "grant_timeouts": 2.0,
+            "grant_degrades": 2.0,
+            "grant_bypasses": 1.0,
+            "grant_throttles": 0.0,
+            "grant_queue_peak": 2.0,
+        }

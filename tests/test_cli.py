@@ -99,3 +99,42 @@ def test_report(capsys):
     out = capsys.readouterr().out
     assert "Calibration report" in out
     assert "perf16/perf32" in out
+
+
+def test_run_overload_flags_show_grant_counters(capsys):
+    code = main(["run", "tpch", "100", "--duration", "300",
+                 "--grant-timeout", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "grant waits" in out
+    assert "grant queue peak" in out
+
+
+def test_run_without_protection_hides_grant_counters(capsys):
+    code = main(["run", "tpch", "100", "--duration", "300"])
+    assert code == 0
+    assert "grant waits" not in capsys.readouterr().out
+
+
+def test_run_rejects_bad_on_grant_timeout():
+    with pytest.raises(SystemExit):
+        main(["run", "tpch", "100", "--on-grant-timeout", "explode"])
+
+
+def test_admission_sweep_reports_monotone_ok(capsys):
+    code = main(["admission", "--oversub", "1,4", "--duration-scale", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "admission-complete: 6 points" in out
+    assert "monotone-degradation: ok" in out
+    for policy in ("immediate", "serialized", "queued"):
+        assert policy in out
+
+
+def test_admission_single_policy(capsys):
+    code = main(["admission", "--oversub", "1,4", "--duration-scale", "0.2",
+                 "--admission-policy", "queued"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "admission-complete: 2 points" in out
+    assert "immediate" not in out

@@ -7,6 +7,7 @@ from repro.errors import (
     ConfigurationError,
     ExperimentTimeout,
     FaultInjectionError,
+    GrantTimeoutError,
     PlanningError,
     RecoveryError,
     ReproError,
@@ -23,6 +24,7 @@ ALL_ERRORS = (
     ConfigurationError,
     ExperimentTimeout,
     FaultInjectionError,
+    GrantTimeoutError,
     PlanningError,
     RecoveryError,
     SimulatedWorkerCrash,
@@ -106,3 +108,12 @@ def test_fault_specs_validate_with_fault_injection_error():
         StorageBrownout(start=-1.0, duration=1.0)
     with pytest.raises(FaultInjectionError):
         WorkerCrash(attempts=0)
+
+
+def test_grant_timeout_carries_context():
+    err = GrantTimeoutError("Q18: no grant", query="Q18", waited=30.0,
+                            required_bytes=1024.0)
+    assert err.query == "Q18"
+    assert err.waited == 30.0
+    assert err.required_bytes == 1024.0
+    assert isinstance(err, ReproError)
