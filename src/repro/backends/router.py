@@ -1,0 +1,232 @@
+"""Resource-aware query router over heterogeneous engine backends.
+
+The router answers the consolidation question the paper's
+characterization sets up: given engines with sharply different resource
+sensitivities, *where should this query run*?  It estimates each query's
+resource demand from the footprint features the optimizer already
+computes (filtered row counts, scanned bytes, sort/aggregate memory) and
+places it with one of three pluggable policies:
+
+``always-<backend>``
+    Degenerate pin: every query goes to one personality.  The baseline
+    the comparison tables measure the real policies against.
+``rule-based``
+    BRAD-style demand rules over the backends'
+    :class:`~repro.backends.base.BackendResourceProfile`: point-ish
+    queries go to the best point-lookup engine, big scans to the best
+    scan-bandwidth engine, short queries to the most elastic engine, and
+    everything else to the first configured backend (counted as a
+    fallback).
+``cost-scored``
+    Ask every backend's own optimizer to cost the query (a plan-cache
+    hit after the first time), convert the personality's startup delay
+    into cost units, add a queue-state penalty (semaphore waiters plus
+    in-flight routed queries), and take the argmin — ResQ-style
+    placement on predicted resource profiles, with deterministic
+    configuration-order tie-breaking.
+
+Every placement increments per-backend decision counters that surface on
+:class:`~repro.core.measurement.Measurement`, in sweep journals, and in
+the ``dm_router_decisions`` DMV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.backends.base import BackendResourceProfile
+from repro.calibration import INSTRUCTIONS_PER_COST_UNIT
+from repro.engine.catalog import Database
+from repro.engine.engine import SqlEngine
+from repro.engine.optimizer.queryspec import QuerySpec
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+#: Policy names (``always-<backend>`` is matched by prefix).
+POLICY_RULE_BASED = "rule-based"
+POLICY_COST_SCORED = "cost-scored"
+ALWAYS_PREFIX = "always-"
+ROUTER_POLICIES = (POLICY_RULE_BASED, POLICY_COST_SCORED,
+                   ALWAYS_PREFIX + "<backend>")
+
+#: Demand-rule thresholds (rule-based policy).
+POINT_LOOKUP_MAX_ROWS = 10_000.0
+BIG_SCAN_BYTES = 256 * MB
+SHORT_QUERY_MAX_ROWS = 2_000_000.0
+
+#: Queue-state penalties in cost units (cost-scored policy): each
+#: semaphore waiter or in-flight routed query on a backend makes it look
+#: this much more expensive.  Calibrated to about a second of single-core
+#: work, the scale at which queueing delay rivals execution cost.
+QUEUE_WAITER_PENALTY = 2.0e6
+INFLIGHT_PENALTY = 5.0e5
+
+#: Row-width proxies for the demand estimate (mirror the cost model's).
+_SORT_ROW_BYTES = 100.0
+_AGG_ROW_BYTES = 64.0
+
+
+@dataclass(frozen=True)
+class DemandEstimate:
+    """Footprint features of one query, backend-independent."""
+
+    scan_rows: float        #: filtered rows read across all table refs
+    scan_bytes: float       #: on-disk bytes the scans touch
+    memory_bytes: float     #: sort/aggregate working-memory proxy
+    point_lookup: bool      #: selective index-driven access pattern
+    short_query: bool       #: small enough that startup costs dominate
+
+
+def estimate_demand(spec: QuerySpec, database: Database) -> DemandEstimate:
+    """Estimate a query's resource demand from catalog cardinalities.
+
+    Uses only the spec and the catalog — no optimizer invocation — so
+    the rule-based policy is O(tables) per placement and identical for
+    every backend.
+    """
+    scan_rows = 0.0
+    scan_bytes = 0.0
+    for ref in spec.tables:
+        table = database.table(ref.table)
+        scan_rows += table.rows * ref.selectivity
+        scan_bytes += table.data_bytes * ref.column_fraction
+    memory_bytes = (
+        spec.sort_rows * _SORT_ROW_BYTES + spec.group_rows * _AGG_ROW_BYTES
+    )
+    return DemandEstimate(
+        scan_rows=scan_rows,
+        scan_bytes=scan_bytes,
+        memory_bytes=memory_bytes,
+        point_lookup=scan_rows <= POINT_LOOKUP_MAX_ROWS,
+        short_query=scan_rows <= SHORT_QUERY_MAX_ROWS,
+    )
+
+
+class Router:
+    """Places queries on backend engines under one policy.
+
+    ``engines`` maps backend name to its constructed engine; iteration
+    order is the configuration order and provides the deterministic
+    tie-break for every policy.  The router is pure bookkeeping plus
+    arithmetic over simulation state — given the same configuration and
+    the same sequence of placement calls it makes the same decisions, in
+    or out of worker processes.
+    """
+
+    def __init__(
+        self,
+        engines: Dict[str, SqlEngine],
+        profiles: Dict[str, BackendResourceProfile],
+        policy: str = POLICY_RULE_BASED,
+    ):
+        if not engines:
+            raise ConfigurationError("router needs at least one backend engine")
+        self.engines = dict(engines)
+        self.order: Tuple[str, ...] = tuple(engines)
+        self.profiles = dict(profiles)
+        self.policy = policy
+        if policy.startswith(ALWAYS_PREFIX):
+            pinned = policy[len(ALWAYS_PREFIX):]
+            if pinned not in self.engines:
+                raise ConfigurationError(
+                    f"policy {policy!r} pins unknown backend {pinned!r}; "
+                    f"configured: {list(self.order)}"
+                )
+            self._pinned = pinned
+        elif policy in (POLICY_RULE_BASED, POLICY_COST_SCORED):
+            self._pinned = None
+        else:
+            raise ConfigurationError(
+                f"unknown router policy {policy!r}; one of {ROUTER_POLICIES}"
+            )
+        # -- counters (surface on Measurement and dm_router_decisions) -------
+        self.decisions: Dict[str, int] = {name: 0 for name in self.order}
+        self.fallbacks = 0
+        self.inflight: Dict[str, int] = {name: 0 for name in self.order}
+
+    # -- placement -------------------------------------------------------------
+
+    def route(self, spec: QuerySpec) -> str:
+        """Pick a backend for *spec* and record the decision."""
+        choice, fallback = self._choose(spec)
+        self.decisions[choice] += 1
+        if fallback:
+            self.fallbacks += 1
+        return choice
+
+    def peek(self, spec: QuerySpec) -> str:
+        """The backend :meth:`route` would pick now, without recording."""
+        choice, _ = self._choose(spec)
+        return choice
+
+    def _choose(self, spec: QuerySpec) -> Tuple[str, bool]:
+        if self._pinned is not None:
+            return self._pinned, False
+        if self.policy == POLICY_RULE_BASED:
+            return self._route_rule_based(spec)
+        return self._route_cost_scored(spec), False
+
+    def engine_for(self, spec: QuerySpec) -> Tuple[str, SqlEngine]:
+        name = self.route(spec)
+        return name, self.engines[name]
+
+    def note_start(self, name: str) -> None:
+        self.inflight[name] += 1
+
+    def note_done(self, name: str) -> None:
+        self.inflight[name] = max(0, self.inflight[name] - 1)
+
+    # -- policies --------------------------------------------------------------
+
+    def _best_by(self, attribute: str) -> str:
+        """Backend maximizing a profile score; configuration order breaks
+        ties (max() keeps the first of equal keys)."""
+        return max(
+            self.order,
+            key=lambda name: getattr(self.profiles[name], attribute),
+        )
+
+    def _route_rule_based(self, spec: QuerySpec) -> Tuple[str, bool]:
+        demand = estimate_demand(
+            spec, next(iter(self.engines.values())).database
+        )
+        if demand.point_lookup:
+            return self._best_by("point_lookup_score"), False
+        if demand.scan_bytes >= BIG_SCAN_BYTES:
+            return self._best_by("scan_bandwidth_score"), False
+        if demand.short_query:
+            return self._best_by("memory_elasticity"), False
+        return self.order[0], True
+
+    def _route_cost_scored(self, spec: QuerySpec) -> str:
+        best_name = None
+        best_score = None
+        for name in self.order:
+            engine = self.engines[name]
+            optimized = engine.optimize(spec)
+            profile = self.profiles[name]
+            # The personality's provisioning delay, in this engine's own
+            # cost units (per-core instruction rate / instructions per unit).
+            startup_units = (
+                profile.startup_seconds
+                * engine.sqlos.per_core_ips / INSTRUCTIONS_PER_COST_UNIT
+            )
+            queue_units = (
+                engine.semaphore.waiter_count * QUEUE_WAITER_PENALTY
+                + self.inflight[name] * INFLIGHT_PENALTY
+            )
+            score = optimized.estimated_elapsed_cost + startup_units + queue_units
+            if best_score is None or score < best_score:
+                best_name, best_score = name, score
+        return best_name
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Routing counters (feeds ``Measurement`` and the journal)."""
+        return {
+            "router_policy": self.policy,
+            "router_decisions": dict(self.decisions),
+            "router_fallbacks": self.fallbacks,
+        }

@@ -19,8 +19,8 @@ import copy
 from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.engine import SqlEngine
-from repro.engine.resource_governor import ResourceGovernor
+from repro.backends import DEFAULT_BACKEND, make_backend
+from repro.core.knobs import ResourceAllocation
 from repro.errors import ConfigurationError
 from repro.hardware.cache import LastLevelCache
 from repro.hardware.cgroups import CpuSet
@@ -39,6 +39,10 @@ class TenantSpec:
     logical_cores: int
     llc_mb: int
     memory_fraction: float = 0.5
+    #: Engine personality this tenant runs (see :mod:`repro.backends`) —
+    #: heterogeneous fleets (OLTP rowstore next to a DSS columnstore)
+    #: are the interesting §10 co-location case.
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self):
         if self.logical_cores < 1:
@@ -47,6 +51,7 @@ class TenantSpec:
             raise ConfigurationError(f"{self.name}: CAT granularity is 2 MB")
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ConfigurationError(f"{self.name}: memory fraction in (0, 1]")
+        make_backend(self.backend)  # fail fast on unknown personalities
 
 
 @dataclass
@@ -58,6 +63,7 @@ class TenantResult:
     scale_factor: int
     primary_metric: float
     tracker: ThroughputTracker
+    backend: str = DEFAULT_BACKEND
 
 
 def tenant_machine(base: Machine, cpu_ids: frozenset, llc_mb: int,
@@ -129,10 +135,14 @@ def run_colocated(
         workload = make_workload(tenant.workload, tenant.scale_factor, **kwargs)
         view = tenant_machine(base, cpu_ids, tenant.llc_mb,
                               tenant.memory_fraction)
-        engine = SqlEngine(
-            view, workload.database, workload.execution_characteristics(),
-            governor=ResourceGovernor(max_dop=tenant.logical_cores),
-            **workload.engine_parameters(),
+        # The backend recipe with this allocation reduces, for the
+        # default rowstore personality, to the historical construction
+        # (governor = ResourceGovernor(max_dop=logical_cores), no cost
+        # model) — tenants only diverge when they opt into one.
+        engine = make_backend(tenant.backend).build_engine(
+            view, workload,
+            ResourceAllocation(logical_cores=tenant.logical_cores,
+                               llc_mb=tenant.llc_mb),
         )
         tracker = ThroughputTracker()
         workload.spawn_clients(engine, tracker, until=duration)
@@ -147,6 +157,7 @@ def run_colocated(
             scale_factor=tenant.scale_factor,
             primary_metric=workload.primary_metric(tracker, duration),
             tracker=tracker,
+            backend=tenant.backend,
         )
         for tenant, tracker, workload in runs
     ]

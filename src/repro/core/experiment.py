@@ -12,12 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.backends import (
+    DEFAULT_BACKEND,
+    DEFAULT_ROUTER_BACKENDS,
+    build_routed_engine,
+    make_backend,
+)
 from repro.calibration import DEFAULT_MEASUREMENT_SECONDS
 from repro.core.knobs import ResourceAllocation
 from repro.core.measurement import Measurement
 from repro.engine.engine import SqlEngine
 from repro.engine.locks import WaitType
-from repro.engine.resource_governor import ResourceGovernor
+from repro.errors import ConfigurationError
 from repro.faults.spec import FaultSpec, simulation_faults
 from repro.hardware.counters import CounterSampler
 from repro.hardware.machine import Machine, MachineSpec
@@ -37,6 +43,12 @@ class ExperimentConfig:
     (worker crash/stall) are interpreted by the supervised sweep runner.
     Faults are part of the config — and therefore of the result-cache
     key — so a faulted run never aliases a fault-free one.
+
+    ``backend`` names the engine personality to run on
+    (:mod:`repro.backends`); ``router`` switches the run to a routed
+    multi-backend fleet under the named placement policy, over
+    ``router_backends`` (the default fleet when empty).  Both are part
+    of the result-cache key, so cross-backend runs can never collide.
     """
 
     workload: str
@@ -47,6 +59,17 @@ class ExperimentConfig:
     machine_spec: MachineSpec = MachineSpec()
     workload_kwargs: Dict = field(default_factory=dict)
     faults: Tuple[FaultSpec, ...] = ()
+    backend: str = DEFAULT_BACKEND
+    router: Optional[str] = None
+    router_backends: Tuple[str, ...] = ()
+
+    @property
+    def routed(self) -> bool:
+        return self.router is not None
+
+    @property
+    def effective_router_backends(self) -> Tuple[str, ...]:
+        return self.router_backends or DEFAULT_ROUTER_BACKENDS
 
 
 class Experiment:
@@ -61,22 +84,17 @@ class Experiment:
         return machine
 
     def _build_engine(self, machine: Machine, workload: Workload) -> SqlEngine:
-        alloc = self.config.allocation
-        governor = ResourceGovernor(
-            max_dop=alloc.effective_max_dop,
-            grant_percent=alloc.grant_percent,
-            grant_timeout_s=alloc.grant_timeout_s,
-            small_query_bypass_bytes=alloc.small_query_bypass_bytes,
-            max_queue_depth=alloc.max_queue_depth,
-            on_grant_timeout=alloc.on_grant_timeout,
-        )
-        return SqlEngine(
-            machine=machine,
-            database=workload.database,
-            execution=workload.execution_characteristics(),
-            governor=governor,
-            **workload.engine_parameters(),
-        )
+        config = self.config
+        if config.routed:
+            return build_routed_engine(
+                machine,
+                workload,
+                config.allocation,
+                config.effective_router_backends,
+                config.router,
+            )
+        backend = make_backend(config.backend)
+        return backend.build_engine(machine, workload, config.allocation)
 
     def run(self) -> Measurement:
         config = self.config
@@ -88,6 +106,11 @@ class Experiment:
         injector = None
         sim_faults = simulation_faults(config.faults)
         if sim_faults:
+            if config.routed:
+                raise ConfigurationError(
+                    "simulation fault injection targets one engine "
+                    "instance; routed multi-backend runs do not support it"
+                )
             from repro.faults.injector import FaultInjector
 
             injector = FaultInjector(machine, engine, faults=sim_faults)
@@ -103,6 +126,12 @@ class Experiment:
         secondary = None
         if isinstance(workload, HtapWorkload):
             secondary = workload.analytics_qph(tracker, config.duration)
+        if config.routed:
+            routing = engine.router.summary()
+            backend_label = "router:" + config.router
+        else:
+            routing = {}
+            backend_label = config.backend
         return Measurement(
             workload=config.workload,
             scale_factor=config.scale_factor,
@@ -124,6 +153,10 @@ class Experiment:
             grant_bypasses=semaphore["grant_bypasses"],
             grant_throttles=semaphore["grant_throttles"],
             grant_queue_peak=semaphore["grant_queue_peak"],
+            backend=backend_label,
+            router_policy=config.router,
+            router_decisions=dict(routing.get("router_decisions", {})),
+            router_fallbacks=int(routing.get("router_fallbacks", 0)),
         )
 
     def _collect_plan_signatures(
@@ -158,6 +191,9 @@ def run_experiment(
     duration: float = DEFAULT_MEASUREMENT_SECONDS,
     seed: int = 0,
     faults: Tuple[FaultSpec, ...] = (),
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
     **workload_kwargs,
 ) -> Measurement:
     """Convenience wrapper: run one experiment and return its measurement."""
@@ -169,5 +205,8 @@ def run_experiment(
         seed=seed,
         workload_kwargs=dict(workload_kwargs),
         faults=tuple(faults),
+        backend=backend,
+        router=router,
+        router_backends=tuple(router_backends),
     )
     return Experiment(config).run()

@@ -40,7 +40,10 @@ log = logging.getLogger(__name__)
 #: Bump when the serialized Measurement layout changes incompatibly.
 #: v2: Measurement grew the grant counters and entries carry a sha256
 #: integrity header, so v1 entries are orphaned via the token.
-CACHE_FORMAT_VERSION = 2
+#: v3: Measurement grew backend/router provenance, and ExperimentConfig
+#: grew the backend/router fields (which also enter the config digest —
+#: cross-backend runs can never collide on cache entries).
+CACHE_FORMAT_VERSION = 3
 
 #: Environment variable consulted for a default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

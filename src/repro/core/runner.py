@@ -289,10 +289,22 @@ class SweepReport:
     pool_restarts: int = 0
     breaker_trips: int = 0
     breaker_recoveries: int = 0
+    #: Per-backend query placements summed over every routed measurement
+    #: in the sweep (empty for single-backend sweeps).
+    router_decisions: Dict[str, int] = field(default_factory=dict)
+    router_fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def observe_routing(self, measurement: Measurement) -> None:
+        """Fold one measurement's routing counters into the sweep totals."""
+        for name, count in measurement.router_decisions.items():
+            self.router_decisions[name] = (
+                self.router_decisions.get(name, 0) + count
+            )
+        self.router_fallbacks += measurement.router_fallbacks
 
     def successes(self) -> List[Measurement]:
         return [m for m in self.measurements if m is not None]
@@ -433,6 +445,15 @@ class _Supervisor:
     def _succeed(self, item: _Item, measurement: Measurement) -> None:
         self.report.measurements[item.index] = measurement
         self._journal_record(item, STATUS_OK)
+        self.report.observe_routing(measurement)
+        if measurement.router_policy is not None and self.journal is not None:
+            self.journal.note(
+                "route",
+                digest=item.digest,
+                policy=measurement.router_policy,
+                decisions=dict(measurement.router_decisions),
+                fallbacks=measurement.router_fallbacks,
+            )
         if self.cache is not None:
             self.cache.put(item.config, measurement)
         degraded = measurement.grant_timeouts > 0 or measurement.grant_degrades > 0
@@ -526,6 +547,7 @@ class _Supervisor:
                 if hit is not None:
                     self.report.measurements[index] = hit
                     self.report.cache_hits += 1
+                    self.report.observe_routing(hit)
                     continue
             digest = self._digest(config)
             base = self.journal.attempts(digest) if self.journal else 0

@@ -9,8 +9,10 @@ parallel and through the on-disk result cache (see
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.backends import DEFAULT_BACKEND
 from repro.core.experiment import ExperimentConfig
 from repro.core.knobs import (
     CORE_SWEEP,
@@ -53,12 +55,41 @@ def duration_for(workload: str, scale_factor: int, scale: float = 1.0) -> float:
     return DEFAULT_DURATIONS.get((workload, scale_factor), 30.0) * scale
 
 
+def on_backend(
+    configs: Sequence[ExperimentConfig],
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
+) -> List[ExperimentConfig]:
+    """Re-target a sweep at an engine personality or a routed fleet.
+
+    Every figure/sensitivity grid sweeps across backends by composition:
+    ``on_backend(core_sweep(...), backend="columnstore-dss")`` measures
+    the same axis on a different personality, and
+    ``on_backend(cfgs, router="rule-based")`` runs the routed fleet.
+    The backend fields are part of the result-cache key, so re-targeted
+    grids never collide with the originals.
+    """
+    return [
+        replace(
+            config,
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
+        )
+        for config in configs
+    ]
+
+
 def core_sweep(
     workload: str,
     scale_factor: int,
     cores: Sequence[int] = CORE_SWEEP,
     llc_mb: int = 40,
     duration_scale: float = 1.0,
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
 ) -> List[ExperimentConfig]:
     """Fig 2 (a,d,g,j): performance vs number of logical cores, full LLC.
 
@@ -82,6 +113,9 @@ def core_sweep(
             scale_factor=scale_factor,
             allocation=ResourceAllocation(logical_cores=n, llc_mb=llc_mb),
             duration=window(n),
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
         )
         for n in cores
     ]
@@ -93,6 +127,9 @@ def llc_sweep(
     sizes_mb: Sequence[int] = LLC_SWEEP_MB,
     cores: int = 32,
     duration_scale: float = 1.0,
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
 ) -> List[ExperimentConfig]:
     """Fig 2 (b,e,h,k and c,f,i,l): performance and MPKI vs LLC size.
 
@@ -104,6 +141,9 @@ def llc_sweep(
             scale_factor=scale_factor,
             allocation=ResourceAllocation(logical_cores=cores, llc_mb=mb),
             duration=duration_for(workload, scale_factor, duration_scale),
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
         )
         for mb in sizes_mb
     ]
@@ -114,6 +154,9 @@ def read_bandwidth_sweep(
     workload: str = "tpch",
     scale_factor: int = 300,
     duration_scale: float = 1.0,
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
 ) -> List[ExperimentConfig]:
     """Fig 5: QPS vs SSD read-bandwidth limit (full cores + LLC).
 
@@ -126,6 +169,9 @@ def read_bandwidth_sweep(
             scale_factor=scale_factor,
             allocation=ResourceAllocation(read_bw_limit=limit),
             duration=2.0 * duration_for(workload, scale_factor, duration_scale),
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
         )
         for limit in limits_bytes_per_s
     ]
@@ -136,6 +182,9 @@ def write_bandwidth_sweep(
     workload: str = "asdb",
     scale_factor: int = 2000,
     duration_scale: float = 1.0,
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
 ) -> List[ExperimentConfig]:
     """§6: TPS vs SSD write-bandwidth limit for transactional workloads."""
     return [
@@ -144,6 +193,9 @@ def write_bandwidth_sweep(
             scale_factor=scale_factor,
             allocation=ResourceAllocation(write_bw_limit=limit),
             duration=duration_for(workload, scale_factor, duration_scale),
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
         )
         for limit in limits_bytes_per_s
     ]
@@ -153,6 +205,9 @@ def maxdop_sweep(
     scale_factor: int,
     maxdops: Sequence[int] = MAXDOP_SWEEP,
     duration_scale: float = 1.0,
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
 ) -> List[ExperimentConfig]:
     """Fig 6: single-stream TPC-H with MAXDOP (and cores) limited (§7)."""
     return [
@@ -162,6 +217,9 @@ def maxdop_sweep(
             allocation=ResourceAllocation(logical_cores=dop, max_dop=dop),
             duration=duration_for("tpch", scale_factor, duration_scale),
             workload_kwargs={"streams": 1},
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
         )
         for dop in maxdops
     ]
@@ -171,6 +229,9 @@ def grant_sweep(
     scale_factor: int = 100,
     percents: Sequence[float] = GRANT_SWEEP_PERCENT,
     duration_scale: float = 1.0,
+    backend: str = DEFAULT_BACKEND,
+    router: Optional[str] = None,
+    router_backends: Tuple[str, ...] = (),
 ) -> List[ExperimentConfig]:
     """Fig 8: single-stream TPC-H SF=100 with query memory grant limits."""
     return [
@@ -180,6 +241,9 @@ def grant_sweep(
             allocation=ResourceAllocation(grant_percent=pct),
             duration=duration_for("tpch", scale_factor, duration_scale),
             workload_kwargs={"streams": 1},
+            backend=backend,
+            router=router,
+            router_backends=tuple(router_backends),
         )
         for pct in percents
     ]

@@ -45,10 +45,12 @@ class SqlEngine:
         cost_model: Optional[CostModel] = None,
         search_strategy: str = "greedy",
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        backend_name: str = "rowstore-oltp",
     ):
         self.machine = machine
         self.database = database
         self.governor = governor
+        self.backend_name = backend_name
         self.memory_pool = QueryMemoryPool(
             server_memory_bytes=machine.dram.capacity_bytes,
             grant_percent=governor.grant_percent,
@@ -92,7 +94,7 @@ class SqlEngine:
             search_strategy=search_strategy,
         )
         self.optimizer = Optimizer(self._planning)
-        self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        self.plan_cache = PlanCache(maxsize=plan_cache_size, namespace=backend_name)
 
     # -- planning and admission ----------------------------------------------------
 
@@ -109,7 +111,7 @@ class SqlEngine:
         dataclasses), making the shared object safe to execute repeatedly.
         """
         dop = self.governor.effective_dop(len(self.machine.cpuset), hint=dop_hint)
-        key = (spec, dop)
+        key = (self.plan_cache.namespace, spec, dop)
         cached = self.plan_cache.get(key)
         if cached is not None:
             return cached

@@ -49,6 +49,10 @@ class ExecutionCharacteristics:
     #: How much the aggregate working set grows when every physical core
     #: runs two hardware threads (1.0 = no growth).
     smt_footprint_growth: float = 0.5
+    #: Multiplier on per-transaction instruction budgets.  Backend
+    #: personalities without a row-oriented point-access path (batch-mode
+    #: columnstores) pay this penalty on OLTP work; 1.0 = rowstore parity.
+    txn_instruction_scale: float = 1.0
 
 
 class SqlOs:
@@ -183,6 +187,7 @@ class SqlOs:
 
     def run_transaction_cpu(self, instructions: float) -> Generator:
         """Generator: execute a DOP-1 transaction on the core pool."""
+        instructions *= self.execution.txn_instruction_scale
         if self.shared_cpu_pool:
             yield from self.run_on_cpu(instructions, dop=1)
             return None

@@ -1,0 +1,41 @@
+"""Router determinism: the same config and seed must produce identical
+placements and bit-identical Measurements whether the sweep runs
+in-process or across worker processes."""
+
+import pickle
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.core.sweeps import run_sweep
+
+
+def routed_sweep():
+    return [
+        ExperimentConfig(
+            workload="tpch", scale_factor=10, duration=4.0, seed=seed,
+            allocation=ResourceAllocation(logical_cores=cores, llc_mb=12),
+            router=policy,
+        )
+        for cores, seed, policy in (
+            (32, 0, "rule-based"),
+            (8, 3, "rule-based"),
+            (32, 1, "cost-scored"),
+            (16, 2, "always-columnstore-dss"),
+        )
+    ]
+
+
+class TestRouterDeterminism:
+    def test_parallel_identical_to_serial(self):
+        configs = routed_sweep()
+        serial = run_sweep(configs, jobs=1)
+        parallel = run_sweep(configs, jobs=4)
+        for s, p in zip(serial, parallel):
+            assert s.router_decisions == p.router_decisions
+            assert s.router_fallbacks == p.router_fallbacks
+            assert pickle.dumps(s) == pickle.dumps(p)
+
+    def test_repeat_runs_identical(self):
+        config = routed_sweep()[0]
+        a, b = run_sweep([config, config], jobs=1)
+        assert pickle.dumps(a) == pickle.dumps(b)

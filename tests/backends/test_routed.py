@@ -1,0 +1,162 @@
+"""RoutedEngine: machine partitioning, the single-engine facade, merged
+views, and the end-to-end routed experiment path."""
+
+import pytest
+
+from repro.backends import partition_allocation
+from repro.core.experiment import Experiment, ExperimentConfig, run_experiment
+from repro.core.knobs import ResourceAllocation
+from repro.engine.statistics import dm_router_decisions
+from repro.errors import ConfigurationError
+from repro.hardware.counters import SSD_READ_BYTES
+
+FLEET = ("rowstore-oltp", "columnstore-dss", "elastic-serverless")
+
+
+class TestPartitioning:
+    def test_even_split(self):
+        subs = partition_allocation(ResourceAllocation(logical_cores=6,
+                                                       llc_mb=12), 3)
+        assert [s.logical_cores for s in subs] == [2, 2, 2]
+        assert [s.llc_mb for s in subs] == [4, 4, 4]
+
+    def test_remainder_goes_to_earlier_backends(self):
+        subs = partition_allocation(ResourceAllocation(logical_cores=32,
+                                                       llc_mb=40), 3)
+        assert [s.logical_cores for s in subs] == [11, 11, 10]
+        assert sum(s.llc_mb for s in subs) == 40
+        assert all(s.llc_mb % 2 == 0 for s in subs)
+
+    def test_too_few_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_allocation(ResourceAllocation(logical_cores=2,
+                                                    llc_mb=40), 3)
+
+    def test_too_little_llc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_allocation(ResourceAllocation(logical_cores=8,
+                                                    llc_mb=4), 3)
+
+    def test_other_knobs_preserved(self):
+        allocation = ResourceAllocation(grant_timeout_s=9.0)
+        subs = partition_allocation(allocation, 2)
+        assert all(s.grant_timeout_s == 9.0 for s in subs)
+
+
+class TestRoutedExperiment:
+    def test_routed_run_measures_and_counts(self):
+        m = run_experiment("tpch", 10, duration=5.0, router="rule-based")
+        assert m.backend == "router:rule-based"
+        assert m.router_policy == "rule-based"
+        assert set(m.router_decisions) == set(FLEET)
+        assert sum(m.router_decisions.values()) > 0
+        assert m.primary_metric > 0
+
+    def test_router_backends_subset(self):
+        m = run_experiment(
+            "tpch", 10, duration=5.0, router="rule-based",
+            router_backends=("rowstore-oltp", "columnstore-dss"),
+        )
+        assert set(m.router_decisions) == {"rowstore-oltp", "columnstore-dss"}
+
+    def test_duplicate_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "tpch", 10, duration=2.0, router="rule-based",
+                router_backends=("rowstore-oltp", "rowstore-oltp"),
+            )
+
+    def test_routed_beats_worst_single_backend(self):
+        """The routed fleet's whole point: on a DSS workload it must not
+        lose to the worst fixed placement."""
+        routed = run_experiment("tpch", 10, duration=10.0,
+                                router="rule-based")
+        singles = [
+            run_experiment("tpch", 10, duration=10.0, backend=name)
+            for name in FLEET
+        ]
+        assert routed.primary_metric >= min(s.primary_metric for s in singles)
+
+    def test_faults_incompatible_with_routing(self):
+        from repro.faults import CrashPoint
+
+        config = ExperimentConfig(
+            workload="tpch", scale_factor=10, duration=2.0,
+            router="rule-based", faults=(CrashPoint(at=1.0),),
+        )
+        with pytest.raises(ConfigurationError):
+            Experiment(config).run()
+
+    def test_oltp_transactions_pin_to_rowstore(self):
+        m = run_experiment("asdb", 2000, duration=3.0, router="rule-based")
+        # All ASDB work is transactions: routed through the pinned OLTP
+        # backend, never the per-query router.
+        assert sum(m.router_decisions.values()) == 0
+        assert m.primary_metric > 0
+
+
+class TestRoutedFacade:
+    def build(self, policy="rule-based"):
+        from repro.backends import build_routed_engine
+        from repro.hardware.machine import Machine
+        from repro.workloads import make_workload
+
+        machine = Machine()
+        allocation = ResourceAllocation()
+        allocation.apply_to(machine)
+        workload = make_workload("tpch", 10)
+        engine = build_routed_engine(machine, workload, allocation, FLEET,
+                                     policy)
+        return machine, workload, engine
+
+    def test_disjoint_cpusets_cover_allocation(self):
+        _, _, engine = self.build()
+        cpu_sets = [e.machine.cpuset.cpus for e in engine.engines.values()]
+        union = frozenset().union(*cpu_sets)
+        assert len(union) == sum(len(s) for s in cpu_sets) == 32
+
+    def test_transaction_engine_is_best_point_backend(self):
+        _, _, engine = self.build()
+        assert engine.transaction_engine is engine.engines["rowstore-oltp"]
+
+    def test_ssd_counters_not_multiplied(self):
+        machine, workload, engine = self.build()
+        from repro.workloads.base import ThroughputTracker
+        tracker = ThroughputTracker()
+        workload.spawn_clients(engine, tracker, until=4.0)
+        machine.sim.run(until=4.0)
+        totals = engine.counter_totals()
+        one = next(iter(engine.engines.values())).counter_totals()
+        assert totals[SSD_READ_BYTES] == one[SSD_READ_BYTES]
+
+    def test_dm_router_decisions_rows(self):
+        machine, workload, engine = self.build()
+        from repro.workloads.base import ThroughputTracker
+        tracker = ThroughputTracker()
+        workload.spawn_clients(engine, tracker, until=4.0)
+        machine.sim.run(until=4.0)
+        rows = dm_router_decisions(engine)
+        assert [r.backend for r in rows] == list(FLEET)
+        assert all(r.policy == "rule-based" for r in rows)
+        assert sum(r.decisions for r in rows) == \
+            sum(engine.router.decisions.values())
+        routed_to = [r for r in rows if r.decisions > 0]
+        assert all(r.plan_cache_hits + r.plan_cache_misses > 0
+                   for r in routed_to)
+
+    def test_dm_router_decisions_on_plain_engine(self):
+        from repro.backends import make_backend
+        from repro.hardware.machine import Machine
+        from repro.workloads import make_workload
+
+        machine = Machine()
+        allocation = ResourceAllocation()
+        allocation.apply_to(machine)
+        workload = make_workload("tpch", 10)
+        engine = make_backend("columnstore-dss").build_engine(
+            machine, workload, allocation
+        )
+        (row,) = dm_router_decisions(engine)
+        assert row.backend == "columnstore-dss"
+        assert row.policy == ""
+        assert row.decisions == 0

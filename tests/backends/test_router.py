@@ -1,0 +1,153 @@
+"""Router policy units: demand estimation, the three policies, counter
+bookkeeping, and the peek/route distinction."""
+
+import pytest
+
+from repro.backends import build_routed_engine
+from repro.backends.router import (
+    BIG_SCAN_BYTES,
+    POINT_LOOKUP_MAX_ROWS,
+    SHORT_QUERY_MAX_ROWS,
+    estimate_demand,
+)
+from repro.core.knobs import ResourceAllocation
+from repro.engine.optimizer.queryspec import QuerySpec, TableRef
+from repro.errors import ConfigurationError
+from repro.hardware.machine import Machine
+from repro.workloads import make_workload
+
+FLEET = ("rowstore-oltp", "columnstore-dss", "elastic-serverless")
+
+
+def routed(policy="rule-based", fleet=FLEET):
+    machine = Machine()
+    allocation = ResourceAllocation()
+    allocation.apply_to(machine)
+    workload = make_workload("tpch", 10)
+    return build_routed_engine(machine, workload, allocation, fleet, policy)
+
+
+def spec(name, table, selectivity=1.0, column_fraction=1.0):
+    return QuerySpec(
+        name=name,
+        tables=(TableRef(table=table, alias=table, selectivity=selectivity,
+                         column_fraction=column_fraction),),
+    )
+
+
+POINT = spec("point", "lineitem", selectivity=1e-7)
+BIG_SCAN = spec("scan", "lineitem")
+SHORT = spec("short", "supplier")
+# Many rows but few bytes: misses every rule, lands on the fallback.
+MEDIUM = spec("medium", "orders", column_fraction=0.01)
+
+
+class TestDemandEstimate:
+    def test_point_lookup_detected(self):
+        engine = routed()
+        demand = estimate_demand(POINT, engine.database)
+        assert demand.point_lookup
+        assert demand.scan_rows <= POINT_LOOKUP_MAX_ROWS
+
+    def test_big_scan_detected(self):
+        engine = routed()
+        demand = estimate_demand(BIG_SCAN, engine.database)
+        assert not demand.point_lookup
+        assert demand.scan_bytes >= BIG_SCAN_BYTES
+
+    def test_medium_is_neither(self):
+        engine = routed()
+        demand = estimate_demand(MEDIUM, engine.database)
+        assert not demand.point_lookup
+        assert not demand.short_query
+        assert demand.scan_rows > SHORT_QUERY_MAX_ROWS
+        assert demand.scan_bytes < BIG_SCAN_BYTES
+
+
+class TestRuleBasedPolicy:
+    def test_point_lookups_go_to_rowstore(self):
+        router = routed().router
+        assert router.route(POINT) == "rowstore-oltp"
+
+    def test_big_scans_go_to_columnstore(self):
+        router = routed().router
+        assert router.route(BIG_SCAN) == "columnstore-dss"
+
+    def test_short_queries_go_to_serverless(self):
+        router = routed().router
+        assert router.route(SHORT) == "elastic-serverless"
+
+    def test_unmatched_demand_falls_back_to_first_backend(self):
+        router = routed().router
+        assert router.route(MEDIUM) == "rowstore-oltp"
+        assert router.fallbacks == 1
+
+    def test_decisions_counted_per_backend(self):
+        router = routed().router
+        for s in (POINT, POINT, BIG_SCAN, SHORT):
+            router.route(s)
+        assert router.decisions == {
+            "rowstore-oltp": 2, "columnstore-dss": 1, "elastic-serverless": 1
+        }
+        assert router.fallbacks == 0
+
+    def test_peek_does_not_record(self):
+        router = routed().router
+        assert router.peek(MEDIUM) == router.route(MEDIUM)
+        assert sum(router.decisions.values()) == 1
+        assert router.fallbacks == 1  # only route() counted the fallback
+
+
+class TestPinnedPolicy:
+    def test_always_pins_every_query(self):
+        router = routed(policy="always-columnstore-dss").router
+        for s in (POINT, BIG_SCAN, SHORT, MEDIUM):
+            assert router.route(s) == "columnstore-dss"
+        assert router.decisions["columnstore-dss"] == 4
+        assert router.fallbacks == 0
+
+    def test_always_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            routed(policy="always-hekaton")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            routed(policy="round-robin")
+
+
+class TestCostScoredPolicy:
+    def test_deterministic_given_same_state(self):
+        router = routed(policy="cost-scored").router
+        assert router.peek(BIG_SCAN) == router.peek(BIG_SCAN)
+
+    def test_prefers_cheap_backend_for_scans(self):
+        router = routed(policy="cost-scored").router
+        assert router.route(BIG_SCAN) == "columnstore-dss"
+
+    def test_inflight_pressure_shifts_placement(self):
+        engine = routed(policy="cost-scored")
+        router = engine.router
+        baseline = router.peek(SHORT)
+        # Pile synthetic in-flight queries on the baseline choice until
+        # the queue penalty overcomes its cost advantage.
+        for _ in range(1000):
+            router.note_start(baseline)
+        assert router.peek(SHORT) != baseline
+        for _ in range(1000):
+            router.note_done(baseline)
+        assert router.peek(SHORT) == baseline
+
+    def test_inflight_never_negative(self):
+        router = routed().router
+        router.note_done("rowstore-oltp")
+        assert router.inflight["rowstore-oltp"] == 0
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        router = routed().router
+        router.route(BIG_SCAN)
+        summary = router.summary()
+        assert summary["router_policy"] == "rule-based"
+        assert summary["router_decisions"]["columnstore-dss"] == 1
+        assert summary["router_fallbacks"] == 0

@@ -1,0 +1,92 @@
+"""The acceptance property: the ``rowstore-oltp`` personality is
+bit-identical to the seed engine construction on every existing path.
+
+The seed recipe — inlined here exactly as the monolithic
+``Experiment._build_engine`` built it before the backends extraction —
+is run side by side with the backend recipe on identical machines, and
+every timing-sensitive observable must match exactly."""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.core.experiment import run_experiment
+from repro.core.knobs import ResourceAllocation
+from repro.engine.engine import SqlEngine
+from repro.engine.resource_governor import ResourceGovernor
+from repro.hardware.machine import Machine
+from repro.workloads import make_workload
+from repro.workloads.base import ThroughputTracker
+
+
+def seed_engine(machine, workload, allocation):
+    """The pre-backends construction, verbatim."""
+    return SqlEngine(
+        machine,
+        workload.database,
+        workload.execution_characteristics(),
+        governor=ResourceGovernor(
+            max_dop=allocation.effective_max_dop,
+            grant_percent=allocation.grant_percent,
+            grant_timeout_s=allocation.grant_timeout_s,
+            small_query_bypass_bytes=allocation.small_query_bypass_bytes,
+            max_queue_depth=allocation.max_queue_depth,
+            on_grant_timeout=allocation.on_grant_timeout,
+        ),
+        **workload.engine_parameters(),
+    )
+
+
+def backend_engine(machine, workload, allocation):
+    return make_backend("rowstore-oltp").build_engine(
+        machine, workload, allocation
+    )
+
+
+def run_with(builder, workload_name, sf, allocation, duration, seed=0):
+    machine = Machine(seed=seed)
+    allocation.apply_to(machine)
+    workload = make_workload(workload_name, sf)
+    engine = builder(machine, workload, allocation)
+    tracker = ThroughputTracker()
+    workload.spawn_clients(engine, tracker, until=duration)
+    machine.sim.run(until=duration)
+    return {
+        "metric": workload.primary_metric(tracker, duration),
+        "counters": engine.counter_totals(),
+        "waits": dict(engine.locks.accounting.wait_time),
+        "grants": engine.semaphore.summary(),
+    }
+
+
+CASES = [
+    # (workload, sf, allocation, duration) — spanning the paper's axes
+    ("tpch", 10, ResourceAllocation(), 10.0),
+    ("tpch", 10, ResourceAllocation(logical_cores=8, llc_mb=12), 10.0),
+    ("asdb", 2000, ResourceAllocation(), 3.0),
+    ("asdb", 2000, ResourceAllocation(grant_percent=5.0), 3.0),
+    ("tpce", 5000, ResourceAllocation(logical_cores=16), 3.0),
+    ("htap", 5000, ResourceAllocation(), 4.0),
+    # Overload protection on: the PR-5 knobs must round-trip too.
+    ("tpch", 10, ResourceAllocation(grant_timeout_s=10.0,
+                                    small_query_bypass_bytes=1e6), 10.0),
+]
+
+
+class TestSeedIdentity:
+    @pytest.mark.parametrize(
+        "workload,sf,allocation,duration", CASES,
+        ids=[f"{w}-sf{sf}-{i}" for i, (w, sf, _, _) in enumerate(CASES)],
+    )
+    def test_backend_matches_seed_construction(self, workload, sf,
+                                               allocation, duration):
+        seed = run_with(seed_engine, workload, sf, allocation, duration)
+        backend = run_with(backend_engine, workload, sf, allocation, duration)
+        assert backend == seed
+
+    def test_experiment_default_backend_is_rowstore(self):
+        m = run_experiment("tpch", 10, duration=5.0)
+        explicit = run_experiment("tpch", 10, duration=5.0,
+                                  backend="rowstore-oltp")
+        assert m.backend == "rowstore-oltp"
+        assert m.primary_metric == explicit.primary_metric
+        assert m.plan_signatures == explicit.plan_signatures

@@ -71,6 +71,31 @@ class TestDigests:
         config = make_config()
         assert config_digest(config, "a") != config_digest(config, "b")
 
+    def test_backend_and_router_are_part_of_the_address(self):
+        """Regression: a columnstore run and a routed run must never be
+        served from a rowstore entry for the same knobs."""
+        token = "t"
+        variants = [
+            make_config(),
+            make_config(backend="columnstore-dss"),
+            make_config(backend="elastic-serverless"),
+            make_config(router="rule-based"),
+            make_config(router="cost-scored"),
+            make_config(router="rule-based",
+                        router_backends=("rowstore-oltp",
+                                         "columnstore-dss")),
+        ]
+        digests = {config_digest(v, token) for v in variants}
+        assert len(digests) == len(variants)
+
+    def test_backend_entries_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rowstore = make_config()
+        columnstore = make_config(backend="columnstore-dss")
+        cache.put(rowstore, run_experiment("asdb", 2000, duration=3.0))
+        assert cache.get(columnstore) is None
+        assert cache.get(rowstore) is not None
+
     def test_calibration_token_is_stable(self):
         assert calibration_token() == calibration_token()
         assert len(calibration_token()) == 16

@@ -138,3 +138,53 @@ def test_admission_single_policy(capsys):
     out = capsys.readouterr().out
     assert "admission-complete: 2 points" in out
     assert "immediate" not in out
+
+
+def test_backends_lists_personalities(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    for name in ("rowstore-oltp", "columnstore-dss", "elastic-serverless"):
+        assert name in out
+    assert "router policies" in out
+
+
+def test_run_on_columnstore_backend(capsys):
+    code = main(["run", "tpch", "10", "--duration", "3",
+                 "--backend", "columnstore-dss"])
+    assert code == 0
+    assert "on columnstore-dss" in capsys.readouterr().out
+
+
+def test_run_with_router_shows_decisions(capsys):
+    code = main(["run", "tpch", "10", "--duration", "3",
+                 "--router", "rule-based"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "on router:rule-based" in out
+    assert "router decisions:" in out
+
+
+def test_run_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["run", "tpch", "10", "--backend", "hekaton"])
+
+
+def test_route_admission_reports_floor(capsys):
+    code = main(["route", "admission", "--scale-factor", "10",
+                 "--oversub", "1,4", "--duration-scale", "0.05"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "route-complete: admission" in out
+    assert "router-floor: ok" in out
+    assert "router:rule-based" in out
+
+
+def test_route_fig2_compares_backends(capsys):
+    code = main(["route", "fig2", "--cores", "8,32",
+                 "--duration-scale", "0.05"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "route-complete: fig2" in out
+    for label in ("rowstore-oltp", "columnstore-dss",
+                  "elastic-serverless", "router:rule-based"):
+        assert label in out
