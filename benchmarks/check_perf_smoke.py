@@ -1,0 +1,94 @@
+"""Perf-smoke gate: apply the benches' thresholds to their JSON reports.
+
+Run after ``bench_runner_scaling.py`` and ``bench_sim_kernel.py`` have
+regenerated ``BENCH_runner_scaling.json`` / ``BENCH_sim_kernel.json``:
+
+    python benchmarks/check_perf_smoke.py \\
+        [--baseline-kernel baseline/BENCH_sim_kernel.json]
+
+Two classes of check:
+
+* **Machine-relative ratios** (always applied): dispatch overhead under
+  10% of serial sweep cost, vectorized MRC and counter rollups >= 2x,
+  compaction observed, warm cache >= 10x.  These are robust across
+  machines because both sides of each ratio ran on the same host.
+* **Cross-commit regression** (only with ``--baseline-kernel``): the
+  fresh ``fig2_mini.points_per_second`` must be at least
+  ``PERF_SMOKE_ALLOWED_REGRESSION`` (default 0.8, i.e. no more than a
+  20% serial-kernel slowdown) times the committed baseline's.  Skipped
+  with a notice when the baseline predates the metric.  Absolute
+  wall-clock comparisons are only meaningful between same-class runners;
+  loosen the env knob if CI hardware changes.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    from benchmarks import bench_runner_scaling, bench_sim_kernel
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    import bench_runner_scaling
+    import bench_sim_kernel
+
+
+def check_regression(fresh, baseline_path, allowed):
+    baseline = json.loads(Path(baseline_path).read_text())
+    old = baseline.get("fig2_mini", {}).get("points_per_second")
+    new = fresh.get("fig2_mini", {}).get("points_per_second")
+    if not old or not new:
+        print("perf-smoke: baseline lacks fig2_mini.points_per_second; "
+              "regression check skipped")
+        return
+    ratio = new / old
+    print(f"perf-smoke: serial kernel {new} vs baseline {old} "
+          f"points/s ({ratio:.2f}x, floor {allowed:.2f}x)")
+    assert ratio >= allowed, (
+        f"serial kernel regressed: {new} points/s is {ratio:.2f}x the "
+        f"baseline {old} (floor {allowed:.2f}x)"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scaling", default=_REPO_ROOT / "BENCH_runner_scaling.json",
+        help="fresh runner-scaling report",
+    )
+    parser.add_argument(
+        "--kernel", default=_REPO_ROOT / "BENCH_sim_kernel.json",
+        help="fresh sim-kernel report",
+    )
+    parser.add_argument(
+        "--baseline-kernel", default=None,
+        help="committed BENCH_sim_kernel.json to diff points_per_second "
+        "against (omit to skip the cross-commit regression check)",
+    )
+    args = parser.parse_args(argv)
+
+    scaling = json.loads(Path(args.scaling).read_text())
+    kernel = json.loads(Path(args.kernel).read_text())
+
+    bench_runner_scaling.check_report(scaling)
+    print(f"perf-smoke: dispatch overhead "
+          f"{scaling['dispatch_overhead_fraction']:.1%} "
+          f"(limit {bench_runner_scaling.DISPATCH_OVERHEAD_LIMIT:.0%}), "
+          f"warm cache {scaling['warm_speedup']}x")
+    bench_sim_kernel.check_report(kernel)
+    print(f"perf-smoke: MRC {kernel['mrc']['speedup']}x, "
+          f"counter rollup {kernel['counter_rollup']['speedup']}x, "
+          f"{kernel['events']['compactions']} compaction(s)")
+
+    if args.baseline_kernel:
+        allowed = float(os.environ.get("PERF_SMOKE_ALLOWED_REGRESSION", "0.8"))
+        check_regression(kernel, args.baseline_kernel, allowed)
+    print("perf-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

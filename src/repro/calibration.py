@@ -9,7 +9,30 @@ size) live in :mod:`repro.units`.
 
 from __future__ import annotations
 
+import functools
+import sys
+from typing import Any, Dict
+
 from repro.units import GIB
+
+
+@functools.lru_cache(maxsize=1)
+def constants() -> Dict[str, Any]:
+    """Every module-level calibration constant, by name.
+
+    This is what the result cache's calibration token hashes; it is
+    memoized because the constants are process-lifetime-stable but used
+    to be re-collected per cache/journal construction.  Anything that
+    mutates a constant at runtime (tests, notebooks) must call
+    ``constants.cache_clear()`` — and
+    ``resultcache.calibration_token.cache_clear()`` — afterwards.
+    """
+    module = sys.modules[__name__]
+    return {
+        name: getattr(module, name)
+        for name in sorted(dir(module))
+        if name.isupper()
+    }
 
 # ---------------------------------------------------------------------------
 # Table 2 — database scale factors and initial sizes (GB).

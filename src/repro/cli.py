@@ -64,6 +64,12 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "in-process; results are identical at any job count)",
     )
     parser.add_argument(
+        "--chunk", type=_job_count, default=None, metavar="K",
+        help="grid points dispatched per worker round-trip (default: "
+        "auto, about four chunks per job; ignored at --jobs 1 and with "
+        "--timeout; never changes results)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="directory for the content-addressed result cache "
         "(default: $REPRO_CACHE_DIR if set, else caching is off)",
@@ -386,10 +392,10 @@ def _cmd_sweep(args) -> int:
     policy = _resolve_policy(args)
     if policy.on_error == "raise":
         measurements = run_sweep(configs, jobs=args.jobs, cache=cache,
-                                 policy=policy)
+                                 policy=policy, chunk=args.chunk)
     else:
         report = run_sweep_report(configs, jobs=args.jobs, cache=cache,
-                                  policy=policy)
+                                  policy=policy, chunk=args.chunk)
         xs = [x for x, m in zip(xs, report.measurements) if m is not None]
         measurements = report.successes()
         for failure in report.failures:
@@ -444,7 +450,8 @@ def _cmd_faults(args) -> int:
     ]
     cache = _resolve_cache(args)
     policy = _resolve_policy(args)
-    report = run_supervised(configs, jobs=args.jobs, cache=cache, policy=policy)
+    report = run_supervised(configs, jobs=args.jobs, cache=cache, policy=policy,
+                            chunk=args.chunk)
     resumed = cache is not None and report.cache_hits > 0
     print(f"supervision: {report.summary()}")
     for failure in report.failures:

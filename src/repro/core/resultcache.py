@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import hashlib
 import json
 import logging
@@ -30,7 +31,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.measurement import Measurement
 from repro.errors import ConfigurationError
@@ -86,6 +87,7 @@ def canonical_json(value: Any) -> str:
     return json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
 
 
+@functools.lru_cache(maxsize=1)
 def calibration_token() -> str:
     """A digest of everything that makes measurements comparable.
 
@@ -93,20 +95,21 @@ def calibration_token() -> str:
     module-level constant in :mod:`repro.calibration` (the model's tuned
     parameters).  Any recalibration changes the token and orphans old
     entries rather than serving them.
+
+    Memoized: the constants are process-lifetime-stable, yet this used to
+    re-walk and re-hash the whole calibration module once per cache
+    construction and once per journal digest.  Code that mutates
+    calibration constants at runtime (tests, notebooks) must call
+    ``calibration_token.cache_clear()`` afterwards.
     """
     import repro
     import repro.calibration as calibration
 
-    constants: Dict[str, Any] = {
-        name: getattr(calibration, name)
-        for name in sorted(dir(calibration))
-        if name.isupper()
-    }
     payload = canonical_json(
         {
             "version": repro.__version__,
             "format": CACHE_FORMAT_VERSION,
-            "calibration": constants,
+            "calibration": calibration.constants(),
         }
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
@@ -145,7 +148,10 @@ class ResultCache:
         return config_digest(config, self.token)
 
     def path_for(self, config: Any) -> Path:
-        return self.directory / f"{self.digest(config)}.pkl"
+        return self.path_for_digest(self.digest(config))
+
+    def path_for_digest(self, digest: str) -> Path:
+        return self.directory / f"{digest}.pkl"
 
     def get(self, config: Any) -> Optional[Measurement]:
         """The cached measurement for *config*, or None.
@@ -157,7 +163,16 @@ class ResultCache:
         cache rather than deleted — so the grid point silently re-runs
         while the evidence survives for diagnosis.
         """
-        path = self.path_for(config)
+        return self.get_by_digest(self.digest(config))
+
+    def get_by_digest(self, digest: str) -> Optional[Measurement]:
+        """:meth:`get` for callers that already computed the digest.
+
+        The sweep supervisor hashes every config exactly once (the digest
+        doubles as the journal key), so probing by digest avoids a second
+        canonical-JSON + sha256 pass per grid point.
+        """
+        path = self.path_for_digest(digest)
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
@@ -181,6 +196,21 @@ class ResultCache:
         self.hits += 1
         return measurement
 
+    def get_many(
+        self, configs: Iterable[Any]
+    ) -> List[Tuple[str, Optional[Measurement]]]:
+        """Batched pre-dispatch probe: ``(digest, hit-or-None)`` per config.
+
+        One pass resolves every already-measured grid point before any
+        worker process is touched, and hands the supervisor the digests
+        it needs anyway for journaling and delta-dispatch — no config is
+        ever hashed twice.
+        """
+        return [
+            (digest, self.get_by_digest(digest))
+            for digest in (self.digest(config) for config in configs)
+        ]
+
     def _quarantine(self, path: Path, exc: BaseException) -> None:
         self.corrupt += 1
         target = path.with_name(f".corrupt-{path.name}")
@@ -201,8 +231,12 @@ class ResultCache:
                 "quarantined; removed", path.name, type(exc).__name__, exc,
             )
 
-    def put(self, config: Any, measurement: Measurement) -> Optional[Path]:
+    def put(self, config: Any, measurement: Measurement,
+            digest: Optional[str] = None) -> Optional[Path]:
         """Store atomically: write a temp file, then rename into place.
+
+        *digest*, when given, must be ``self.digest(config)`` — callers
+        that already hold the digest (the supervisor) skip re-hashing.
 
         The cache is an accelerator, not a durability contract: a disk
         that fills up or a directory that loses write permission mid-sweep
@@ -213,7 +247,8 @@ class ResultCache:
         unpicklable measurement is a programming bug, not an environment
         hazard.
         """
-        path = self.path_for(config)
+        path = (self.path_for(config) if digest is None
+                else self.path_for_digest(digest))
         tmp_name: Optional[str] = None
         payload = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
         checksum = hashlib.sha256(payload).hexdigest().encode("ascii")

@@ -38,15 +38,16 @@ paths testable end to end.
 from __future__ import annotations
 
 import logging
-import os
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Deque, Dict, List, Optional, Sequence, TypeVar
 
-from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core import dispatch, workerpool
+from repro.core.dispatch import run_one  # noqa: F401 - long-standing public name
+from repro.core.experiment import ExperimentConfig
 from repro.core.journal import (
     STATUS_CRASH,
     STATUS_ERROR,
@@ -62,7 +63,7 @@ from repro.errors import (
     SimulatedWorkerCrash,
     SweepExecutionError,
 )
-from repro.faults.spec import WorkerCrash, WorkerStall, harness_faults
+from repro.faults.spec import harness_faults
 
 log = logging.getLogger(__name__)
 
@@ -71,33 +72,6 @@ _R = TypeVar("_R")
 
 #: Journal filename used when one is auto-derived from the cache directory.
 JOURNAL_BASENAME = "sweep-journal.jsonl"
-
-
-def run_one(config: ExperimentConfig) -> Measurement:
-    """Execute one config.  Module-level so process pools can pickle it."""
-    return Experiment(config).run()
-
-
-def _run_attempt(task: Tuple[ExperimentConfig, int, bool]) -> Measurement:
-    """Worker entry point: apply harness faults, then run the experiment.
-
-    *task* is ``(config, attempt, in_pool)``.  ``attempt`` is the global
-    attempt number (journal-seeded, so it survives resume);  ``in_pool``
-    selects between a hard ``os._exit`` (real worker death, observed by
-    the supervisor as ``BrokenProcessPool``) and the in-process stand-in
-    :class:`~repro.errors.SimulatedWorkerCrash`.
-    """
-    config, attempt, in_pool = task
-    for fault in harness_faults(config.faults):
-        if isinstance(fault, WorkerCrash) and fault.fires_on(attempt):
-            if in_pool:
-                os._exit(fault.exit_code)
-            raise SimulatedWorkerCrash(
-                f"worker crash fault fired on attempt {attempt}"
-            )
-        if isinstance(fault, WorkerStall) and fault.fires_on(attempt):
-            time.sleep(fault.seconds)
-    return run_one(config)
 
 
 def map_ordered(
@@ -123,17 +97,21 @@ def map_ordered(
             except Exception as exc:
                 raise _item_error(exc, index, item) from exc
         return results
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        futures = [pool.submit(fn, item) for item in items]
-        results = []
-        for index, (future, item) in enumerate(zip(futures, items)):
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                for pending in futures[index + 1:]:
-                    pending.cancel()
-                raise _item_error(exc, index, item) from exc
-        return results
+    pool = workerpool.acquire(min(jobs, len(items)))
+    futures = [pool.submit(fn, item) for item in items]
+    results = []
+    for index, (future, item) in enumerate(zip(futures, items)):
+        try:
+            results.append(future.result())
+        except Exception as exc:
+            # Fail fast for real: cancelling pending futures is not
+            # enough — attempts already running would survive until
+            # natural completion.  Kill the workers and retire the pool
+            # (with cancel_futures) so the sweep actually stops; the next
+            # acquire() builds a fresh warm pool.
+            workerpool.retire(pool, kill=True)
+            raise _item_error(exc, index, item) from exc
+    return results
 
 
 def _item_error(exc: BaseException, index: int, item: object) -> SweepExecutionError:
@@ -413,17 +391,22 @@ class _Supervisor:
         cache: Optional[ResultCache],
         policy: SupervisionPolicy,
         journal: Optional[SweepJournal],
+        chunk: Optional[int] = None,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if chunk is not None and chunk < 1:
+            raise ConfigurationError("chunk must be >= 1 (or None for auto)")
         self.configs = list(configs)
         self.jobs = jobs
         self.cache = cache
         self.policy = policy
         self.journal = journal
+        self.chunk = chunk
         self.report = SweepReport(measurements=[None] * len(self.configs))
         self._token = cache.token if cache is not None else None
         self._breaker = _CircuitBreaker(policy, jobs)
+        self._pool: Optional[workerpool.WarmPool] = None
 
     # -- digests / journal -----------------------------------------------------
 
@@ -455,7 +438,7 @@ class _Supervisor:
                 fallbacks=measurement.router_fallbacks,
             )
         if self.cache is not None:
-            self.cache.put(item.config, measurement)
+            self.cache.put(item.config, measurement, digest=item.digest)
         degraded = measurement.grant_timeouts > 0 or measurement.grant_degrades > 0
         self._breaker_observe(self.policy.breaker_count_degrades and degraded)
 
@@ -540,16 +523,22 @@ class _Supervisor:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SweepReport:
+        # Batched pre-dispatch probe: every config is hashed exactly once,
+        # every cache hit resolves before any worker process is touched,
+        # and the digests feed straight into journaling and dispatch.
+        if self.cache is not None:
+            probes = self.cache.get_many(self.configs)
+        else:
+            probes = [(self._digest(config), None) for config in self.configs]
         pending: List[_Item] = []
-        for index, config in enumerate(self.configs):
-            if self.cache is not None:
-                hit = self.cache.get(config)
-                if hit is not None:
-                    self.report.measurements[index] = hit
-                    self.report.cache_hits += 1
-                    self.report.observe_routing(hit)
-                    continue
-            digest = self._digest(config)
+        for index, (config, (digest, hit)) in enumerate(
+            zip(self.configs, probes)
+        ):
+            if hit is not None:
+                self.report.measurements[index] = hit
+                self.report.cache_hits += 1
+                self.report.observe_routing(hit)
+                continue
             base = self.journal.attempts(digest) if self.journal else 0
             pending.append(_Item(index=index, config=config, digest=digest,
                                  base_attempts=base))
@@ -572,7 +561,9 @@ class _Supervisor:
                 if delay > 0:
                     time.sleep(delay)
                 try:
-                    measurement = _run_attempt((item.config, item.attempt, False))
+                    measurement = dispatch.run_attempt(
+                        item.config, item.attempt, in_pool=False
+                    )
                 except SimulatedWorkerCrash as exc:
                     retry = self._fail(item, KIND_CRASH, exc)
                 except Exception as exc:
@@ -583,6 +574,38 @@ class _Supervisor:
                 if not retry:
                     break
 
+    def _chunk_size(self, points: int) -> int:
+        """Points per dispatched chunk for a sweep of *points*.
+
+        A per-attempt timeout forces chunk=1: the attempt clock is per
+        grid point, and a chunk of N points sharing one future would
+        smear N budgets together.  An explicit chunk wins otherwise;
+        the default splits the sweep into about ``jobs * 4`` slices.
+        """
+        if self.policy.timeout is not None:
+            return 1
+        if self.chunk is not None:
+            return self.chunk
+        return dispatch.auto_chunk(points, self.jobs)
+
+    @staticmethod
+    def _next_batch(ready: List[_Item], chunk: int) -> List[_Item]:
+        """Up to *chunk* consecutive ready items, faulted points solo.
+
+        Harness-faulted configs (crash/stall injection) get a chunk to
+        themselves: a crash fault kills the whole worker, and chunk-mates
+        of the culprit would be dragged into suspect quarantine for no
+        reason.
+        """
+        first = ready[0]
+        batch = [first]
+        if chunk > 1 and not harness_faults(first.config.faults):
+            for item in ready[1:chunk]:
+                if harness_faults(item.config.faults):
+                    break
+                batch.append(item)
+        return batch
+
     def _run_pool(self, pending: List[_Item]) -> None:
         waiting: List[_Item] = list(pending)
         # When the pool breaks with several attempts in flight,
@@ -592,29 +615,48 @@ class _Supervisor:
         # else), so a completed solo run exonerates an item at no cost and
         # a solo pool break convicts the culprit with certainty.
         suspects: List[_Item] = []
-        running: Dict[Future, _Item] = {}
-        pool = self._new_pool()
+        running: Dict[Future, List[_Item]] = {}
+        chunk = self._chunk_size(len(pending))
+        self._pool = workerpool.acquire(self.jobs)
         try:
             while waiting or suspects or running:
                 now = time.monotonic()
-                # Submit every eligible item up to the in-flight window
+                # Submit eligible items, several per future, up to the
+                # in-flight window — counted in chunks, so the window
+                # still approximates the number of busy workers
                 # (submission is deferred while the window is full so the
                 # per-attempt clock starts when the attempt actually can).
-                # During quarantine the window narrows to one suspect;
-                # otherwise the circuit breaker governs how much
+                # During quarantine the window narrows to one solo
+                # suspect; otherwise the circuit breaker governs how much
                 # concurrency the machine is currently trusted with.
                 source = suspects if suspects else waiting
                 window = 1 if suspects else self._breaker.jobs
                 ready = [it for it in source if it.eligible <= now]
-                for item in ready:
-                    if len(running) >= window:
-                        break
-                    source.remove(item)
-                    item.started = time.monotonic()
-                    future = pool.submit(
-                        _run_attempt, (item.config, item.attempt, True)
+                while ready and len(running) < window:
+                    batch = self._next_batch(ready, 1 if suspects else chunk)
+                    del ready[:len(batch)]
+                    started = time.monotonic()
+                    for item in batch:
+                        source.remove(item)
+                        item.started = started
+                    task = dispatch.make_chunk(
+                        [it.config for it in batch],
+                        [it.attempt for it in batch],
                     )
-                    running[future] = item
+                    try:
+                        future = self._pool.submit(dispatch.run_chunk, task)
+                    except BrokenProcessPool:
+                        # A worker died between taking this batch and the
+                        # submit (warm fork workers start tasks fast
+                        # enough to lose this race).  The batch never ran:
+                        # put it back unharmed.  In-flight futures surface
+                        # the break below; with none in flight, replace
+                        # the pool here.
+                        source[:0] = batch
+                        if not running:
+                            self._recycle_pool(kill=False)
+                        break
+                    running[future] = batch
                 if not running:
                     # Everything is backing off; sleep toward the earliest
                     # eligibility.
@@ -627,26 +669,36 @@ class _Supervisor:
                 crashed: List[_Item] = []
                 broken_exc: Optional[BaseException] = None
                 for future in done:
-                    item = running.pop(future)
+                    batch = running.pop(future)
                     try:
-                        measurement = future.result()
+                        outcomes = future.result()
                     except BrokenProcessPool as exc:
                         broken_exc = exc
-                        crashed.append(item)
-                    except SimulatedWorkerCrash as exc:
-                        if self._fail(item, KIND_CRASH, exc):
-                            waiting.append(item)
+                        crashed.extend(batch)
                     except Exception as exc:
-                        if self._fail(item, KIND_ERROR, exc):
-                            waiting.append(item)
+                        # Chunk-level failure (the task itself, not a
+                        # point): charge every point, same as a shared
+                        # worker exception would have.
+                        for item in batch:
+                            if self._fail(item, KIND_ERROR, exc):
+                                waiting.append(item)
                     else:
-                        self._succeed(item, measurement)
+                        for item, (tag, payload) in zip(batch, outcomes):
+                            if tag == dispatch.OUTCOME_OK:
+                                self._succeed(item, payload)
+                            elif isinstance(payload, SimulatedWorkerCrash):
+                                if self._fail(item, KIND_CRASH, payload):
+                                    waiting.append(item)
+                            elif self._fail(item, KIND_ERROR, payload):
+                                waiting.append(item)
                 if broken_exc is not None:
                     # The pool is dead; its leftover futures only ever
                     # raise BrokenProcessPool, so never await them.
-                    in_flight = crashed + list(running.values())
+                    in_flight = crashed + [
+                        item for batch in running.values() for item in batch
+                    ]
                     running.clear()
-                    pool = self._recycle_pool(pool, kill=False)
+                    self._recycle_pool(kill=False)
                     if len(in_flight) == 1:
                         # A solo break names its culprit.
                         item = in_flight[0]
@@ -659,71 +711,53 @@ class _Supervisor:
                         suspects.extend(in_flight)
                     continue
                 if self.policy.timeout is not None:
-                    pool = self._reap_timeouts(running, waiting, pool)
+                    self._reap_timeouts(running, waiting)
         except SweepExecutionError:
             # Fail-fast path: don't leave stalled workers behind.
-            self._terminate_pool(pool)
+            workerpool.retire(self._pool, kill=True)
             raise
         finally:
-            pool.shutdown(wait=False)
+            # The warm pool outlives the sweep on purpose — the next
+            # sweep in this process reuses its already-imported workers.
+            self._pool = None
 
     def _reap_timeouts(
         self,
-        running: Dict[Future, _Item],
+        running: Dict[Future, List[_Item]],
         waiting: List[_Item],
-        pool: ProcessPoolExecutor,
-    ) -> ProcessPoolExecutor:
-        """Fail attempts past their deadline; returns the (possibly
-        replaced) pool.  A busy worker cannot be interrupted portably, so
-        any timeout kills the whole pool; innocent in-flight attempts are
-        resubmitted without burning an attempt."""
-        now = time.monotonic()
-        expired = [f for f, it in running.items()
-                   if now - it.started > self.policy.timeout]
-        if not expired:
-            return pool
-        for future in expired:
-            item = running.pop(future)
-            if self._fail(item, KIND_TIMEOUT, None):
-                waiting.append(item)
-        for item in running.values():
-            item.eligible = 0.0
-            waiting.append(item)
-        running.clear()
-        return self._recycle_pool(pool, kill=True)
+    ) -> None:
+        """Fail attempts past their deadline, replacing the pool if so.
 
-    # -- pool lifecycle --------------------------------------------------------
-
-    def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.jobs)
-
-    def _recycle_pool(self, pool: ProcessPoolExecutor,
-                      kill: bool) -> ProcessPoolExecutor:
-        if kill:
-            self._terminate_pool(pool)
-        else:
-            pool.shutdown(wait=False)
-        self.report.pool_restarts += 1
-        return self._new_pool()
-
-    @staticmethod
-    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-        """Hard-stop a pool whose workers may never return.
-
-        ``_processes`` is executor-internal; guard every access so a
-        stdlib layout change degrades to an orderly (blocking-free)
-        shutdown instead of an attribute error.
+        A busy worker cannot be interrupted portably, so any timeout
+        kills the whole pool; innocent in-flight attempts are resubmitted
+        without burning an attempt.  A timeout policy forces chunk=1
+        (:meth:`_chunk_size`), so every running future maps to exactly
+        one item and deadlines stay per grid point.
         """
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except Exception:  # pragma: no cover - best effort
-                pass
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except TypeError:  # pragma: no cover - cancel_futures is 3.9+
-            pool.shutdown(wait=False)
+        now = time.monotonic()
+        expired = [f for f, batch in running.items()
+                   if now - batch[0].started > self.policy.timeout]
+        if not expired:
+            return
+        for future in expired:
+            for item in running.pop(future):
+                if self._fail(item, KIND_TIMEOUT, None):
+                    waiting.append(item)
+        for batch in running.values():
+            for item in batch:
+                item.eligible = 0.0
+                waiting.append(item)
+        running.clear()
+        self._recycle_pool(kill=True)
+
+    def _recycle_pool(self, kill: bool) -> None:
+        """Retire the current (dead or poisoned) pool and acquire a fresh
+        one.  ``kill=True`` terminates workers first — the timeout path,
+        where attempts must actually stop, not drain."""
+        assert self._pool is not None
+        workerpool.retire(self._pool, kill=kill)
+        self.report.pool_restarts += 1
+        self._pool = workerpool.acquire(self.jobs)
 
 
 def run_supervised(
@@ -732,6 +766,7 @@ def run_supervised(
     cache: Optional[ResultCache] = None,
     policy: Optional[SupervisionPolicy] = None,
     journal: Optional[SweepJournal] = None,
+    chunk: Optional[int] = None,
 ) -> SweepReport:
     """Run every config under supervision; never loses partial progress.
 
@@ -739,11 +774,16 @@ def run_supervised(
     to the cache (``sweep-journal.jsonl``) so interrupted sweeps resume:
     successes short-circuit through the cache, failed points re-run with
     their global attempt number carried forward.
+
+    *chunk* sets how many grid points share one worker round-trip (None:
+    about four chunks per job; forced to 1 by a per-attempt timeout).
+    Chunking changes dispatch granularity only — results, ordering,
+    journal records, and retry accounting stay per grid point.
     """
     policy = policy or SupervisionPolicy()
     if journal is None and cache is not None:
         journal = SweepJournal(cache.directory / JOURNAL_BASENAME)
-    return _Supervisor(configs, jobs, cache, policy, journal).run()
+    return _Supervisor(configs, jobs, cache, policy, journal, chunk).run()
 
 
 def run_configs(
@@ -752,6 +792,7 @@ def run_configs(
     cache: Optional[ResultCache] = None,
     policy: Optional[SupervisionPolicy] = None,
     journal: Optional[SweepJournal] = None,
+    chunk: Optional[int] = None,
 ) -> List[Measurement]:
     """Run every config, in order; returns a dense list or raises.
 
@@ -761,7 +802,7 @@ def run_configs(
     grid point.  Use :func:`run_supervised` to consume partial results.
     """
     report = run_supervised(configs, jobs=jobs, cache=cache, policy=policy,
-                            journal=journal)
+                            journal=journal, chunk=chunk)
     for index, measurement in enumerate(report.measurements):
         if measurement is None:
             raise SweepExecutionError(

@@ -254,24 +254,30 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
     policy: Optional["SupervisionPolicy"] = None,
+    chunk: Optional[int] = None,
 ) -> List[Measurement]:
     """Execute a sweep and return measurements in input order.
 
     ``jobs`` controls process-pool fan-out (1 = in-process, the
-    historical serial path); ``cache`` is an optional
+    historical serial path); parallel sweeps run on a persistent warm
+    worker pool that is reused across sweeps within the process.
+    ``cache`` is an optional
     :class:`~repro.core.resultcache.ResultCache` that short-circuits
     previously-measured grid points.  Parallel execution is exact, not
     approximate: every config carries its own seed and machine, so
     ``jobs=4`` returns bit-identical measurements to ``jobs=1``.
 
-    ``policy`` tunes supervision (timeouts, crash retries); this
-    function keeps the dense fail-fast contract, so a policy hole raises
-    :class:`~repro.errors.SweepExecutionError` — use
+    ``chunk`` sets how many grid points ride one worker round-trip
+    (None = about four chunks per job); it changes dispatch granularity
+    only, never results.  ``policy`` tunes supervision (timeouts, crash
+    retries); this function keeps the dense fail-fast contract, so a
+    policy hole raises :class:`~repro.errors.SweepExecutionError` — use
     :func:`run_sweep_report` to consume partial results.
     """
     from repro.core.runner import run_configs
 
-    return run_configs(configs, jobs=jobs, cache=cache, policy=policy)
+    return run_configs(configs, jobs=jobs, cache=cache, policy=policy,
+                       chunk=chunk)
 
 
 def run_sweep_report(
@@ -279,6 +285,7 @@ def run_sweep_report(
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
     policy: Optional["SupervisionPolicy"] = None,
+    chunk: Optional[int] = None,
 ) -> "SweepReport":
     """Execute a sweep under supervision and keep partial results.
 
@@ -290,4 +297,5 @@ def run_sweep_report(
     """
     from repro.core.runner import run_supervised
 
-    return run_supervised(configs, jobs=jobs, cache=cache, policy=policy)
+    return run_supervised(configs, jobs=jobs, cache=cache, policy=policy,
+                          chunk=chunk)

@@ -12,7 +12,8 @@ whatever capacity remains holds a fraction of the cold data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from repro.calibration import ENGINE_MEMORY_FRACTION
 from repro.engine.catalog import Database, Table
@@ -37,6 +38,12 @@ class BufferPool:
     server_memory_bytes: float
     reserved_grant_bytes: float = 0.0
     hot_access_fraction: float = 0.85
+    _derived_key: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _derived: Tuple[float, float, float] = field(
+        default=(1.0, 1.0, 1.0), init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.server_memory_bytes <= 0:
@@ -52,29 +59,51 @@ class BufferPool:
 
     # -- residency ---------------------------------------------------------------
 
-    def _hot_bytes_total(self) -> float:
-        return sum(
-            (t.data_bytes + t.index_bytes) * t.hot_fraction
-            for t in self.database.tables.values()
-        )
+    def _residency(self) -> Tuple[float, float, float]:
+        """Memoized ``(resident, cold_resident, point_hit)`` triple.
+
+        All three depend only on pool capacity and the catalog's size
+        sums, yet they were re-derived per point access and per scan —
+        about a third of an OLTP run's serial cost went to re-summing
+        static table sizes here.  The memo re-keys on the capacity inputs
+        and the database's ``sizes_version``, so grant-driven capacity
+        changes and schema growth both invalidate it.
+        """
+        key = (self.server_memory_bytes, self.reserved_grant_bytes,
+               self.hot_access_fraction, self.database.sizes_version)
+        if key != self._derived_key:
+            capacity = self.capacity_bytes
+            total = self.database.total_bytes
+            hot = sum(
+                (t.data_bytes + t.index_bytes) * t.hot_fraction
+                for t in self.database.tables.values()
+            )
+            resident = min(1.0, capacity / total) if total > 0 else 1.0
+            cold = total - hot
+            if cold <= 0:
+                cold_resident = 1.0
+            else:
+                spare = capacity - hot
+                cold_resident = (
+                    min(1.0, spare / cold) if spare > 0 else 0.0
+                )
+            hot_resident = min(1.0, capacity / hot) if hot > 0 else 1.0
+            point_hit = min(
+                self.MAX_POINT_HIT,
+                self.hot_access_fraction * hot_resident
+                + (1.0 - self.hot_access_fraction) * cold_resident,
+            )
+            self._derived = (resident, cold_resident, point_hit)
+            self._derived_key = key
+        return self._derived
 
     def resident_fraction(self) -> float:
         """Overall fraction of the database resident in the pool."""
-        total = self.database.total_bytes
-        if total <= 0:
-            return 1.0
-        return min(1.0, self.capacity_bytes / total)
+        return self._residency()[0]
 
     def cold_resident_fraction(self) -> float:
         """Fraction of the *cold* data that still fits after hot sets."""
-        hot = self._hot_bytes_total()
-        cold = self.database.total_bytes - hot
-        if cold <= 0:
-            return 1.0
-        spare = self.capacity_bytes - hot
-        if spare <= 0:
-            return 0.0
-        return min(1.0, spare / cold)
+        return self._residency()[1]
 
     # -- access-path hit probabilities -------------------------------------------
 
@@ -85,14 +114,7 @@ class BufferPool:
 
     def point_hit_probability(self, table: Table) -> float:
         """Hit probability for a skewed point access (OLTP row lookup)."""
-        hot = self._hot_bytes_total()
-        hot_resident = min(1.0, self.capacity_bytes / hot) if hot > 0 else 1.0
-        cold_resident = self.cold_resident_fraction()
-        hit = (
-            self.hot_access_fraction * hot_resident
-            + (1.0 - self.hot_access_fraction) * cold_resident
-        )
-        return min(self.MAX_POINT_HIT, hit)
+        return self._residency()[2]
 
     def scan_hit_fraction(self, table: Table) -> float:
         """Fraction of a sequential scan served from memory.

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.types import (
     COLUMNSTORE_COMPRESSION,
@@ -39,7 +39,15 @@ class Index:
 
 @dataclass
 class Table:
-    """A base table with optional secondary indexes."""
+    """A base table with optional secondary indexes.
+
+    Byte sizes are memoized: table shapes are effectively immutable after
+    schema construction, yet the buffer pool re-derives residency from
+    these sums on every point access and scan — the single hottest loop
+    of an OLTP run.  The memo re-keys on ``(rows, row_bytes, storage,
+    compression_ratio, len(indexes))``, so bulk-load-style mutations of
+    any of those invalidate it automatically.
+    """
 
     name: str
     rows: int
@@ -53,6 +61,12 @@ class Table:
     #: factors compress worse (dictionary and segment overheads), so the
     #: schema builders override the default where needed.
     compression_ratio: Optional[float] = None
+    _size_key: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sizes: Tuple[float, float] = field(
+        default=(0.0, 0.0), init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.rows < 0 or self.row_bytes <= 0:
@@ -62,13 +76,24 @@ class Table:
         if self.compression_ratio is not None and self.compression_ratio < 1.0:
             raise ConfigurationError(f"table {self.name}: compression must be >= 1")
 
+    def _size_pair(self) -> Tuple[float, float]:
+        key = (self.rows, self.row_bytes, self.storage,
+               self.compression_ratio, len(self.indexes))
+        if key != self._size_key:
+            raw = self.rows * self.row_bytes
+            if self.storage is StorageFormat.COLUMN:
+                data = raw / (self.compression_ratio or COLUMNSTORE_COMPRESSION)
+            else:
+                data = raw
+            index = sum(ix.size_bytes(self.rows) for ix in self.indexes)
+            self._sizes = (data, index)
+            self._size_key = key
+        return self._sizes
+
     @property
     def data_bytes(self) -> float:
         """On-disk bytes of the base data (after columnstore compression)."""
-        raw = self.rows * self.row_bytes
-        if self.storage is StorageFormat.COLUMN:
-            return raw / (self.compression_ratio or COLUMNSTORE_COMPRESSION)
-        return raw
+        return self._size_pair()[0]
 
     @property
     def uncompressed_bytes(self) -> float:
@@ -76,7 +101,7 @@ class Table:
 
     @property
     def index_bytes(self) -> float:
-        return sum(index.size_bytes(self.rows) for index in self.indexes)
+        return self._size_pair()[1]
 
     def index(self, name: str) -> Index:
         for index in self.indexes:
@@ -96,12 +121,26 @@ class Database:
     scale_factor: int
     workload_class: WorkloadClass
     tables: Dict[str, Table] = field(default_factory=dict)
+    #: Bumped whenever the schema (and so the size sums) may have
+    #: changed; buffer pools key their derived-residency memos on it.
+    sizes_version: int = field(default=0, init=False, repr=False,
+                               compare=False)
+    _sizes_cache: Optional[Tuple[float, float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add_table(self, table: Table) -> None:
         if table.name in self.tables:
             raise ConfigurationError(f"duplicate table {table.name!r}")
         self.tables[table.name] = table
+        self.invalidate_sizes()
         self._check_design(table)
+
+    def invalidate_sizes(self) -> None:
+        """Drop the memoized size sums (call after mutating a table
+        in place — :meth:`add_table` calls it automatically)."""
+        self.sizes_version += 1
+        self._sizes_cache = None
 
     def _check_design(self, table: Table) -> None:
         """Warn on the paper's pitfall #2: wrong storage layout for the
@@ -129,17 +168,32 @@ class Database:
             raise ConfigurationError(f"{self.name}: no table {name!r}")
         return table
 
+    def _size_sums(self) -> Tuple[float, float]:
+        """Memoized (data, index) byte totals over every table.
+
+        These sums back every buffer-pool residency probe — per point
+        access on the OLTP path — so they are computed once per schema
+        version, not per call.
+        """
+        if self._sizes_cache is None:
+            self._sizes_cache = (
+                sum(t.data_bytes for t in self.tables.values()),
+                sum(t.index_bytes for t in self.tables.values()),
+            )
+        return self._sizes_cache
+
     @property
     def data_bytes(self) -> float:
-        return sum(t.data_bytes for t in self.tables.values())
+        return self._size_sums()[0]
 
     @property
     def index_bytes(self) -> float:
-        return sum(t.index_bytes for t in self.tables.values())
+        return self._size_sums()[1]
 
     @property
     def total_bytes(self) -> float:
-        return self.data_bytes + self.index_bytes
+        data, index = self._size_sums()
+        return data + index
 
     def fits_in_memory(self, memory_bytes: float, engine_fraction: float = 0.8) -> bool:
         """Whether data + indexes fit in the buffer pool's share of memory.

@@ -144,8 +144,41 @@ class Executor:
         self._locks = lock_manager
         self._wal = wal
         self._checkpoint = checkpoint
+        # Memoized per-plan scan reads (see _scan_seq_read_bytes).
+        self._scan_read_memo: dict = {}
+        self._scan_memo_residency: Optional[tuple] = None
 
     # -- demand derivation -------------------------------------------------------
+
+    def _scan_seq_read_bytes(self, optimized: OptimizedQuery) -> float:
+        """Cold sequential-read bytes of a plan's scans, memoized.
+
+        A TPC-H stream re-runs the same optimized plans hundreds of times
+        per experiment, and this plan walk (plus a residency probe per
+        scan node) used to repeat per execution.  Plans are deterministic
+        per ``(query name, dop)`` within one engine, so that pair keys
+        the memo; the whole memo drops whenever the buffer pool's
+        residency inputs (capacity or catalog size sums) change.
+        """
+        pool = self._buffer_pool
+        residency = (pool.server_memory_bytes, pool.reserved_grant_bytes,
+                     pool.database.sizes_version)
+        if residency != self._scan_memo_residency:
+            self._scan_read_memo.clear()
+            self._scan_memo_residency = residency
+        key = (optimized.spec.name, optimized.dop)
+        seq_read = self._scan_read_memo.get(key)
+        if seq_read is None:
+            spec = optimized.spec
+            seq_read = 0.0
+            scan_ops = (OpKind.COLUMNSTORE_SCAN, OpKind.TABLE_SCAN)
+            for node in optimized.plan.walk():
+                if node.op in scan_ops and node.table is not None:
+                    ref = spec.table_ref(node.table)
+                    table = pool.database.table(ref.table)
+                    seq_read += pool.scan_read_bytes(table, ref.column_fraction)
+            self._scan_read_memo[key] = seq_read
+        return seq_read
 
     def demand_for_query(self, optimized: OptimizedQuery, grant: MemoryGrant) -> QueryDemand:
         """Convert an optimized plan + admitted grant into raw demands."""
@@ -154,13 +187,7 @@ class Executor:
         cost_units = optimized.plan.total_cpu_cost() * passes + grant.spill_cpu_cost
         instructions = cost_units * INSTRUCTIONS_PER_COST_UNIT
 
-        seq_read = 0.0
-        scan_ops = (OpKind.COLUMNSTORE_SCAN, OpKind.TABLE_SCAN)
-        for node in optimized.plan.walk():
-            if node.op in scan_ops and node.table is not None:
-                ref = spec.table_ref(node.table)
-                table = self._buffer_pool.database.table(ref.table)
-                seq_read += self._buffer_pool.scan_read_bytes(table, ref.column_fraction)
+        seq_read = self._scan_seq_read_bytes(optimized)
         random_read = optimized.random_reads * PAGE_SIZE * passes
 
         return QueryDemand(

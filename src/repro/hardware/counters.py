@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Protocol
 
+import numpy as np
+
 from repro.sim.process import Simulator, Timeout
 from repro.sim.stats import Cdf
 
@@ -21,7 +23,12 @@ class CounterSource(Protocol):
     """Anything that exposes monotonically non-decreasing totals."""
 
     def counter_totals(self) -> Dict[str, float]:
-        """Current cumulative totals keyed by counter name."""
+        """Current cumulative totals keyed by counter name.
+
+        Must return a *fresh* dict per call (every implementation in this
+        repo builds one): the sampler keeps the returned mapping as its
+        previous-tick snapshot instead of copying it every interval.
+        """
         ...  # pragma: no cover
 
 
@@ -56,17 +63,49 @@ class CounterSeries:
     def series(self, name: str) -> List[float]:
         return list(self.rates.get(name, []))
 
-    def mean(self, name: str) -> float:
+    def _array(self, name: str):
+        """Memoized float64 view of one rate series.
+
+        A one-hour simulated run rolls up thousands of intervals per
+        counter, and report generation queries the same means and MPKIs
+        per measurement many times over.  The list-to-array conversion is
+        paid once per series length (appends only grow the lists, so the
+        length keys the cache); the cache is deliberately kept out of
+        ``__getstate__`` so pickled measurements carry only the rates.
+        """
         values = self.rates.get(name)
-        return sum(values) / len(values) if values else 0.0
+        if not values:
+            return None
+        cache = self.__dict__.setdefault("_np_cache", {})
+        arr = cache.get(name)
+        if arr is None or len(arr) != len(values):
+            arr = np.asarray(values, dtype=np.float64)
+            cache[name] = arr
+        return arr
+
+    def __getstate__(self):
+        return {"interval": self.interval, "rates": self.rates}
+
+    def __setstate__(self, state):
+        self.interval = state["interval"]
+        self.rates = state["rates"]
+
+    def mean(self, name: str) -> float:
+        """Run-average rate (array reduction over the memoized series)."""
+        arr = self._array(name)
+        if arr is None:
+            return 0.0
+        return float(arr.sum()) / len(arr)
 
     def cdf(self, name: str) -> Cdf:
         return Cdf(self.rates.get(name, []))
 
     def mean_mpki(self) -> float:
         """Misses per kilo-instruction over the whole run."""
-        instructions = sum(self.rates.get(INSTRUCTIONS, []))
-        misses = sum(self.rates.get(LLC_MISSES, []))
+        instructions_arr = self._array(INSTRUCTIONS)
+        misses_arr = self._array(LLC_MISSES)
+        instructions = float(instructions_arr.sum()) if instructions_arr is not None else 0.0
+        misses = float(misses_arr.sum()) if misses_arr is not None else 0.0
         if instructions <= 0:
             return 0.0
         return 1000.0 * misses / instructions
@@ -83,14 +122,22 @@ class CounterSampler:
         self._process = sim.spawn(self._run(), name="counter-sampler")
 
     def _run(self) -> Generator:
+        # This fires once per simulated second for the whole run, so the
+        # loop body is kept lean: the per-counter lists are appended to
+        # directly, and the fresh totals dict (see CounterSource) becomes
+        # the next snapshot without an intermediate copy.
         interval = self.series.interval
+        rates = self.series.rates
+        last = self._last_totals
         while True:
             yield Timeout(interval)
             totals = self._source.counter_totals()
             for name, value in totals.items():
-                previous = self._last_totals.get(name, 0.0)
-                self.series.append(name, (value - previous) / interval)
-            self._last_totals = dict(totals)
+                bucket = rates.get(name)
+                if bucket is None:
+                    bucket = rates.setdefault(name, [])
+                bucket.append((value - last.get(name, 0.0)) / interval)
+            last = self._last_totals = totals
 
     def stop(self) -> None:
         self._process.interrupt()

@@ -12,12 +12,22 @@ The resulting MPKI-versus-allocation curve is piecewise, with *knees* at
 the cumulative component sizes — matching the paper's §5 observation that
 miss-rate curves for database workloads show knees at small cache sizes
 (cf. SPLASH-2 [29] and the sufficient-LLC sizes of Table 4).
+
+Performance notes: these curves sit on the per-query, per-sample-tick hot
+path, so everything derivable at construction time is precomputed —
+component densities, the LRU fill order, cumulative footprints, knees —
+and :meth:`MissRatioCurve.mpki_array` / :meth:`~MissRatioCurve.hit_ratio_array`
+evaluate whole allocation grids in one numpy pass.  The scalar
+:meth:`~MissRatioCurve.mpki` deliberately keeps the original sequential
+arithmetic, so existing results stay bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -50,12 +60,32 @@ class WorkingSetComponent:
             raise ConfigurationError(f"{self.name}: negative access intensity")
         if not 0.0 <= self.reuse_efficiency <= 1.0:
             raise ConfigurationError(f"{self.name}: reuse efficiency in [0,1]")
+        # Memoized: the density is consulted once per component per curve
+        # *sort comparison*, which used to recompute the division on a
+        # per-query-per-tick path.  Not a dataclass field, so equality,
+        # hashing, and pickling are unaffected.
+        if self.footprint_bytes == float("inf"):
+            density = 0.0
+        else:
+            density = self.accesses_per_ki / self.footprint_bytes
+        object.__setattr__(self, "_density", density)
 
     def access_density(self) -> float:
         """Accesses per byte — the priority under LRU-like replacement."""
-        if self.footprint_bytes == float("inf"):
-            return 0.0
-        return self.accesses_per_ki / self.footprint_bytes
+        return self._density
+
+    def __getstate__(self):
+        return {
+            "name": self.name,
+            "footprint_bytes": self.footprint_bytes,
+            "accesses_per_ki": self.accesses_per_ki,
+            "reuse_efficiency": self.reuse_efficiency,
+        }
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        self.__post_init__()
 
 
 class MissRatioCurve:
@@ -64,17 +94,50 @@ class MissRatioCurve:
     def __init__(self, components: Sequence[WorkingSetComponent]):
         if not components:
             raise ConfigurationError("need at least one working-set component")
-        # LRU-like: denser components win cache space first.
+        # LRU-like: denser components win cache space first.  The sort key
+        # is the memoized density, hoisted out of the comparison loop.
         self._components: List[WorkingSetComponent] = sorted(
-            components, key=lambda c: c.access_density(), reverse=True
+            components, key=WorkingSetComponent.access_density, reverse=True
         )
+        # Flattened per-component columns in fill order, split into the
+        # finite (cacheable) prefix and the streaming remainder.  The
+        # scalar mpki() walks the tuples (attribute access hoisted); the
+        # _array forms use the numpy columns.
+        finite = [c for c in self._components
+                  if c.footprint_bytes != float("inf")]
+        self._flat = tuple(
+            (c.footprint_bytes, c.accesses_per_ki, c.reuse_efficiency)
+            for c in self._components
+        )
+        self._streaming_mpki = sum(
+            c.accesses_per_ki for c in self._components
+            if c.footprint_bytes == float("inf")
+        )
+        self._footprints = np.array(
+            [c.footprint_bytes for c in finite], dtype=np.float64
+        )
+        self._accesses = np.array(
+            [c.accesses_per_ki for c in finite], dtype=np.float64
+        )
+        self._reuse = np.array(
+            [c.reuse_efficiency for c in finite], dtype=np.float64
+        )
+        #: Cumulative footprint *before* each component in fill order:
+        #: component i's resident fraction under allocation A is
+        #: ``clip((A - prior[i]) / footprint[i], 0, 1)``.
+        cumulative = np.cumsum(self._footprints)
+        self._prior = cumulative - self._footprints
+        self._total_accesses = float(
+            sum(c.accesses_per_ki for c in self._components)
+        )
+        self._knees: Tuple[float, ...] = tuple(cumulative.tolist())
 
     @property
     def components(self) -> List[WorkingSetComponent]:
         return list(self._components)
 
     def total_accesses_per_ki(self) -> float:
-        return sum(c.accesses_per_ki for c in self._components)
+        return self._total_accesses
 
     def mpki(self, allocated_bytes: float, footprint_scale: float = 1.0) -> float:
         """Misses per kilo-instruction with *allocated_bytes* of LLC.
@@ -82,6 +145,10 @@ class MissRatioCurve:
         ``footprint_scale`` inflates every footprint; the executor uses it
         to model more concurrent threads enlarging the aggregate working
         set (e.g. hyper-threading doubling resident thread state).
+
+        Keeps the original sequential arithmetic (same operations in the
+        same order), so results are bit-identical to the historical
+        implementation; use :meth:`mpki_array` for whole grids.
         """
         if allocated_bytes < 0:
             raise ConfigurationError("negative allocation")
@@ -89,17 +156,44 @@ class MissRatioCurve:
             raise ConfigurationError("footprint scale must be positive")
         remaining = float(allocated_bytes)
         misses = 0.0
-        for comp in self._components:
-            footprint = comp.footprint_bytes * footprint_scale
-            if footprint == float("inf"):
+        inf = float("inf")
+        for footprint_bytes, accesses, reuse in self._flat:
+            footprint = footprint_bytes * footprint_scale
+            if footprint == inf:
                 # Streaming: every access misses.
-                misses += comp.accesses_per_ki
+                misses += accesses
                 continue
             resident = min(1.0, remaining / footprint) if footprint > 0 else 1.0
-            hit_rate = resident * comp.reuse_efficiency
-            misses += comp.accesses_per_ki * (1.0 - hit_rate)
+            misses += accesses * (1.0 - resident * reuse)
             remaining = max(0.0, remaining - footprint)
         return misses
+
+    def mpki_array(
+        self, allocated_bytes: Sequence[float], footprint_scale: float = 1.0
+    ) -> np.ndarray:
+        """Vectorized :meth:`mpki` over a whole allocation grid.
+
+        One numpy pass over ``len(allocations) x len(components)``:
+        component i's resident fraction is a clipped linear ramp between
+        the cumulative footprint before it and after it (both scaled), so
+        no sequential fill loop is needed.  Results match :meth:`mpki` to
+        floating-point round-off (the summation order differs).
+        """
+        if footprint_scale <= 0:
+            raise ConfigurationError("footprint scale must be positive")
+        allocations = np.asarray(allocated_bytes, dtype=np.float64)
+        if np.any(allocations < 0):
+            raise ConfigurationError("negative allocation")
+        if self._footprints.size == 0:
+            return np.full(allocations.shape, self._streaming_mpki)
+        resident = np.clip(
+            (allocations[..., None] - footprint_scale * self._prior)
+            / (footprint_scale * self._footprints),
+            0.0,
+            1.0,
+        )
+        misses = (self._accesses * (1.0 - resident * self._reuse)).sum(axis=-1)
+        return misses + self._streaming_mpki
 
     def hit_ratio(self, allocated_bytes: float, footprint_scale: float = 1.0) -> float:
         total = self.total_accesses_per_ki()
@@ -107,13 +201,19 @@ class MissRatioCurve:
             return 1.0
         return 1.0 - self.mpki(allocated_bytes, footprint_scale) / total
 
-    def knee_bytes(self) -> List[float]:
-        """Allocation sizes where the curve's slope changes (the knees)."""
-        knees: List[float] = []
-        cumulative = 0.0
-        for comp in self._components:
-            if comp.footprint_bytes == float("inf"):
-                continue
-            cumulative += comp.footprint_bytes
-            knees.append(cumulative)
-        return knees
+    def hit_ratio_array(
+        self, allocated_bytes: Sequence[float], footprint_scale: float = 1.0
+    ) -> np.ndarray:
+        """Vectorized :meth:`hit_ratio` over a whole allocation grid."""
+        total = self.total_accesses_per_ki()
+        if total == 0:
+            return np.ones(np.asarray(allocated_bytes, dtype=np.float64).shape)
+        return 1.0 - self.mpki_array(allocated_bytes, footprint_scale) / total
+
+    def knee_bytes(self) -> Tuple[float, ...]:
+        """Allocation sizes where the curve's slope changes (the knees).
+
+        Precomputed at construction; returns the cached tuple (callers on
+        the sampling hot path may hold on to it safely — it is immutable).
+        """
+        return self._knees

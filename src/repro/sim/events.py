@@ -4,14 +4,29 @@ The :class:`EventLoop` is a classic calendar: events are ``(time, seq)``
 ordered in a binary heap, where ``seq`` is a monotonically increasing tie
 breaker so that events scheduled at the same instant fire in FIFO order and
 runs are fully deterministic.
+
+Cancelled events are removed lazily: :meth:`Event.cancel` only sets a flag,
+and the loop skips flagged entries as they surface at the heap top.  Reschedule-
+heavy servers (the waterfill bandwidth model re-plans every active job on
+every change) can flood the heap with corpses, so the loop counts live
+cancellations and *compacts* — rebuilds and re-heapifies the live entries —
+once corpses outnumber half the heap.  :meth:`EventLoop.schedule_batch`
+amortizes bulk scheduling (N client start-ups, a tick train) into one
+heapify instead of N pushes where that is cheaper.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: Compaction trigger: corpses must outnumber both this floor and half the
+#: heap.  The floor keeps tiny heaps from compacting constantly; the
+#: fraction bounds wasted heap memory and pop work at a constant factor.
+COMPACT_MIN_CANCELLED = 64
+COMPACT_FRACTION = 0.5
 
 
 class Event:
@@ -21,7 +36,7 @@ class Event:
     the heap but are skipped by the loop (lazy deletion).
     """
 
-    __slots__ = ("time", "callback", "payload", "cancelled", "fired")
+    __slots__ = ("time", "callback", "payload", "cancelled", "fired", "_loop")
 
     def __init__(self, time: float, callback: Callable[["Event"], None], payload: Any = None):
         self.time = time
@@ -29,10 +44,15 @@ class Event:
         self.payload = payload
         self.cancelled = False
         self.fired = False
+        self._loop: Optional["EventLoop"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._loop is not None:
+            self._loop._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
@@ -56,19 +76,27 @@ class EventLoop:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        self._cancelled = 0    # cancelled events still sitting in the heap
+        self.compactions = 0   # lifetime compaction sweeps (observability)
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
 
+    def __len__(self) -> int:
+        """Heap entries, including not-yet-collected cancelled ones."""
+        return len(self._heap)
+
     def schedule_at(self, time: float, callback: Callable[[Event], None], payload: Any = None) -> Event:
         """Schedule *callback* to fire at absolute simulation time *time*."""
         if time < self._now:
             raise SimulationError(f"cannot schedule event in the past: {time} < {self._now}")
         event = Event(time, callback, payload)
+        event._loop = self
         heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
+        self._maybe_compact()
         return event
 
     def schedule_after(self, delay: float, callback: Callable[[Event], None], payload: Any = None) -> Event:
@@ -77,10 +105,55 @@ class EventLoop:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback, payload)
 
+    def schedule_batch(
+        self,
+        entries: Iterable[Tuple[float, Callable[[Event], None], Any]],
+    ) -> List[Event]:
+        """Schedule many ``(time, callback, payload)`` entries at once.
+
+        Equivalent to ``schedule_at`` per entry — same FIFO tie-breaking,
+        in iteration order — but a batch larger than the live heap is
+        folded in with one O(n) heapify instead of per-entry pushes.
+        """
+        staged: List[Tuple[float, int, Event]] = []
+        for time, callback, payload in entries:
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule event in the past: {time} < {self._now}"
+                )
+            event = Event(time, callback, payload)
+            event._loop = self
+            staged.append((time, self._seq, event))
+            self._seq += 1
+        if len(staged) > len(self._heap):
+            self._heap.extend(staged)
+            heapq.heapify(self._heap)
+        else:
+            for entry in staged:
+                heapq.heappush(self._heap, entry)
+        self._maybe_compact()
+        return [entry[2] for entry in staged]
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Purge cancelled entries once they dominate the heap."""
+        if (
+            self._cancelled > COMPACT_MIN_CANCELLED
+            and self._cancelled > COMPACT_FRACTION * len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e[2].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+            self.compactions += 1
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0][0]
@@ -90,6 +163,7 @@ class EventLoop:
         while self._heap:
             time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = time
             event.fired = True

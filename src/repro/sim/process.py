@@ -12,7 +12,7 @@ dependencies) and deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.events import EventLoop
@@ -156,6 +156,28 @@ class Simulator:
         proc = Process(self, generator, name=name)
         proc._start()
         return proc
+
+    def spawn_many(
+        self, generators: Sequence[Generator], name: str = "proc"
+    ) -> List[Process]:
+        """Spawn a batch of processes in order, one heap operation.
+
+        Semantically identical to ``[spawn(g) for g in generators]`` —
+        start events keep FIFO order at the current instant — but the
+        start-up train goes through :meth:`EventLoop.schedule_batch`,
+        which matters when a workload spawns hundreds of client processes
+        (ASDB starts 128) at every experiment start.  Names get a
+        ``-<index>`` suffix.
+        """
+        procs = [
+            Process(self, gen, name=f"{name}-{index}")
+            for index, gen in enumerate(generators)
+        ]
+        now = self.loop.now
+        self.loop.schedule_batch(
+            (now, lambda ev, p=proc: p._resume(None), None) for proc in procs
+        )
+        return procs
 
     def event(self) -> WaitEvent:
         """Create a fresh one-shot wait event."""

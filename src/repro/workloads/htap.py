@@ -113,13 +113,15 @@ class HtapWorkload(OltpWorkloadBase):
     ) -> List:
         procs = super().spawn_clients(engine, tracker, until)
         sim = engine.machine.sim
-        for i in range(self.dss_clients):
-            procs.append(
-                sim.spawn(
-                    self._analytics_user(engine, tracker, until),
-                    name=f"htap-dss-{i}",
-                )
+        procs.extend(
+            sim.spawn_many(
+                [
+                    self._analytics_user(engine, tracker, until)
+                    for _ in range(self.dss_clients)
+                ],
+                name="htap-dss",
             )
+        )
         return procs
 
     def _analytics_user(self, engine, tracker, until) -> Generator:

@@ -96,16 +96,18 @@ class OltpWorkloadBase(Workload):
         self, engine: SqlEngine, tracker: ThroughputTracker, until: float
     ) -> List:
         sim = engine.machine.sim
-        procs = []
-        for client_id in range(self.clients):
-            rng = engine.machine.streams.get(f"{self.name}.client{client_id}")
-            procs.append(
-                sim.spawn(
-                    self._client(engine, tracker, until, rng),
-                    name=f"{self.name}-client-{client_id}",
+        # One batched start-up: ASDB spawns 128 clients per experiment.
+        # RNG streams are still drawn per client, in client order.
+        return sim.spawn_many(
+            [
+                self._client(
+                    engine, tracker, until,
+                    engine.machine.streams.get(f"{self.name}.client{client_id}"),
                 )
-            )
-        return procs
+                for client_id in range(self.clients)
+            ],
+            name=f"{self.name}-client",
+        )
 
     def _client(self, engine, tracker, until, rng) -> Generator:
         sim = engine.machine.sim

@@ -401,15 +401,13 @@ class TpchWorkload(Workload):
     ) -> List:
         sim = engine.machine.sim
         rng = engine.machine.streams.get("tpch.streams")
-        procs = []
-        for stream_id in range(self.streams):
-            procs.append(
-                sim.spawn(
-                    self._stream(engine, tracker, until, stream_id, rng),
-                    name=f"tpch-stream-{stream_id}",
-                )
-            )
-        return procs
+        return sim.spawn_many(
+            [
+                self._stream(engine, tracker, until, stream_id, rng)
+                for stream_id in range(self.streams)
+            ],
+            name="tpch-stream",
+        )
 
     def _stream(self, engine, tracker, until, stream_id, rng) -> Generator:
         sim = engine.machine.sim

@@ -1,0 +1,111 @@
+"""Tests for the persistent warm worker pool (ISSUE: perf tentpole)."""
+
+import os
+
+import pytest
+
+from repro.core import workerpool
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test starts and ends with an empty pool registry."""
+    workerpool.shutdown_all()
+    yield
+    workerpool.shutdown_all()
+
+
+class TestAcquire:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            workerpool.acquire(0)
+
+    def test_pool_is_reused_across_acquires(self):
+        first = workerpool.acquire(2)
+        second = workerpool.acquire(2)
+        assert second is first
+        assert second.generation == first.generation
+        assert workerpool.active_pools() == {2: first}
+
+    def test_distinct_worker_counts_get_distinct_pools(self):
+        two = workerpool.acquire(2)
+        one = workerpool.acquire(1)
+        assert one is not two
+        assert set(workerpool.active_pools()) == {1, 2}
+
+    def test_pool_executes_work(self):
+        pool = workerpool.acquire(2)
+        futures = [pool.submit(_square, n) for n in range(5)]
+        assert [f.result(timeout=60) for f in futures] == [0, 1, 4, 9, 16]
+        assert pool.tasks_dispatched == 5
+
+    def test_start_method_is_platform_preferred(self):
+        pool = workerpool.acquire(1)
+        assert pool.method == workerpool.start_method()
+        assert pool.method in ("fork", "forkserver", "spawn")
+
+
+class TestRetire:
+    def test_retire_removes_from_registry(self):
+        pool = workerpool.acquire(1)
+        workerpool.retire(pool)
+        assert workerpool.active_pools() == {}
+
+    def test_acquire_after_retire_is_a_new_generation(self):
+        first = workerpool.acquire(1)
+        workerpool.retire(first)
+        second = workerpool.acquire(1)
+        assert second is not first
+        assert second.generation > first.generation
+
+    def test_retire_of_stale_pool_leaves_current_alone(self):
+        first = workerpool.acquire(1)
+        workerpool.retire(first)
+        second = workerpool.acquire(1)
+        workerpool.retire(first)  # stale handle, retired again
+        assert workerpool.active_pools() == {1: second}
+
+    def test_kill_terminates_worker_processes(self):
+        pool = workerpool.acquire(1)
+        pid = pool.submit(os.getpid).result(timeout=60)
+        workerpool.retire(pool, kill=True)
+        # The worker is gone (or a zombie about to be reaped) — either
+        # way the registry no longer hands it out.
+        assert workerpool.active_pools() == {}
+        fresh = workerpool.acquire(1)
+        assert fresh.generation > pool.generation
+        assert fresh.submit(os.getpid).result(timeout=60) != pid
+
+
+class TestBrokenPools:
+    def test_broken_pool_is_replaced_on_acquire(self):
+        pool = workerpool.acquire(1)
+        pool.submit(os.getpid).result(timeout=60)
+        workerpool.kill_workers(pool.executor)
+        # Force the executor to notice the death.
+        try:
+            pool.submit(_square, 2).result(timeout=60)
+        except Exception:
+            pass
+        if not pool.broken:  # pragma: no cover - platform dependent
+            pytest.skip("executor did not mark itself broken")
+        replacement = workerpool.acquire(1)
+        assert replacement is not pool
+        assert replacement.generation > pool.generation
+        assert replacement.submit(_square, 3).result(timeout=60) == 9
+
+
+class TestStats:
+    def test_counters_track_lifecycle(self):
+        before = workerpool.pool_stats()
+        pool = workerpool.acquire(1)
+        workerpool.acquire(1)
+        workerpool.retire(pool)
+        after = workerpool.pool_stats()
+        assert after["created"] == before["created"] + 1
+        assert after["reused"] == before["reused"] + 1
+        assert after["retired"] == before["retired"] + 1

@@ -1,0 +1,70 @@
+"""Tests for CounterSeries rollups: memoized arrays, stable pickles."""
+
+import pickle
+
+import pytest
+
+from repro.hardware.counters import (
+    CounterSeries,
+    INSTRUCTIONS,
+    LLC_MISSES,
+    SSD_READ_BYTES,
+)
+
+
+def series_with(name, values):
+    series = CounterSeries()
+    for value in values:
+        series.append(name, value)
+    return series
+
+
+class TestRollups:
+    def test_mean(self):
+        series = series_with(SSD_READ_BYTES, [1.0, 2.0, 3.0, 6.0])
+        assert series.mean(SSD_READ_BYTES) == pytest.approx(3.0)
+
+    def test_mean_of_missing_counter_is_zero(self):
+        assert CounterSeries().mean("nope") == 0.0
+
+    def test_mean_mpki(self):
+        series = series_with(INSTRUCTIONS, [1000.0, 3000.0])
+        for misses in (10.0, 30.0):
+            series.append(LLC_MISSES, misses)
+        assert series.mean_mpki() == pytest.approx(10.0)
+
+    def test_mean_mpki_without_instructions_is_zero(self):
+        assert CounterSeries().mean_mpki() == 0.0
+
+
+class TestMemoizedArrays:
+    def test_array_is_reused_across_queries(self):
+        series = series_with(SSD_READ_BYTES, [float(i) for i in range(100)])
+        first = series._array(SSD_READ_BYTES)
+        series.mean(SSD_READ_BYTES)
+        assert series._array(SSD_READ_BYTES) is first
+
+    def test_append_invalidates_the_memo(self):
+        series = series_with(SSD_READ_BYTES, [1.0, 2.0])
+        assert series.mean(SSD_READ_BYTES) == pytest.approx(1.5)
+        stale = series._array(SSD_READ_BYTES)
+        series.append(SSD_READ_BYTES, 6.0)
+        assert series._array(SSD_READ_BYTES) is not stale
+        assert series.mean(SSD_READ_BYTES) == pytest.approx(3.0)
+
+
+class TestPickleStability:
+    def test_pickle_carries_only_rates(self):
+        """The array cache must never leak into pickled measurements —
+        cache files and cross-run fingerprints depend on it."""
+        series = series_with(SSD_READ_BYTES, [1.0, 2.0])
+        cold = pickle.dumps(series)
+        series.mean(SSD_READ_BYTES)          # populates the memo
+        assert pickle.dumps(series) == cold
+
+    def test_round_trip(self):
+        series = series_with(SSD_READ_BYTES, [1.0, 2.0, 9.0])
+        clone = pickle.loads(pickle.dumps(series))
+        assert clone.interval == series.interval
+        assert clone.rates == series.rates
+        assert clone.mean(SSD_READ_BYTES) == series.mean(SSD_READ_BYTES)

@@ -106,3 +106,91 @@ def test_events_scheduled_during_run_are_processed():
     loop.run()
     assert fired == ["outer", "inner"]
     assert loop.now == 1.5
+
+
+class TestBatchScheduling:
+    def test_batch_matches_individual_scheduling(self):
+        """schedule_batch must drain in exactly the order a loop of
+        schedule_at calls would (time order, FIFO within a time)."""
+        times = [3.0, 1.0, 2.0, 1.0, 3.0, 0.5]
+        one_by_one = EventLoop()
+        fired_a = []
+        for i, t in enumerate(times):
+            one_by_one.schedule_at(t, lambda ev, i=i: fired_a.append(i))
+        one_by_one.run()
+        batched = EventLoop()
+        fired_b = []
+        batched.schedule_batch(
+            (t, lambda ev, i=i: fired_b.append(i), None)
+            for i, t in enumerate(times)
+        )
+        batched.run()
+        assert fired_b == fired_a
+
+    def test_batch_into_populated_loop(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.5, lambda ev: fired.append("old"))
+        loop.schedule_batch([
+            (1.0, lambda ev: fired.append("early"), None),
+            (2.0, lambda ev: fired.append("late"), None),
+        ])
+        loop.run()
+        assert fired == ["early", "old", "late"]
+
+    def test_batch_rejects_past_times(self):
+        loop = EventLoop()
+        loop.schedule_at(5.0, lambda ev: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_batch([(1.0, lambda ev: None, None)])
+
+    def test_empty_batch_is_a_no_op(self):
+        loop = EventLoop()
+        loop.schedule_batch([])
+        assert len(loop) == 0
+
+
+class TestCompaction:
+    def test_mass_cancellation_triggers_compaction(self):
+        from repro.sim.events import COMPACT_MIN_CANCELLED
+        loop = EventLoop()
+        events = [
+            loop.schedule_at(float(i), lambda ev: None)
+            for i in range(4 * COMPACT_MIN_CANCELLED)
+        ]
+        survivors = events[:: 4]
+        for event in events:
+            if event not in survivors:
+                event.cancel()
+        assert loop.compactions >= 1
+        # Corpses were purged: the heap holds the survivors plus at most
+        # the sub-threshold tail of cancellations since the last sweep.
+        assert len(loop) <= len(survivors) + COMPACT_MIN_CANCELLED
+        assert len(loop) < len(events)
+
+    def test_compaction_preserves_firing_order(self):
+        from repro.sim.events import COMPACT_MIN_CANCELLED
+        loop = EventLoop()
+        fired = []
+        keep = []
+        for i in range(4 * COMPACT_MIN_CANCELLED):
+            event = loop.schedule_at(
+                float(i), lambda ev, i=i: fired.append(i)
+            )
+            if i % 4 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        loop.run()
+        assert fired == keep
+
+    def test_cancel_is_idempotent_and_safe_after_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_at(1.0, lambda ev: fired.append(1))
+        loop.run()
+        event.cancel()      # already fired: must be a no-op
+        event.cancel()
+        assert fired == [1]
+        assert loop.compactions == 0

@@ -123,3 +123,46 @@ def test_interrupt_stops_process():
     sim.run()
     assert progressed == [1]
     assert not proc.alive
+
+
+class TestSpawnMany:
+    def test_matches_sequential_spawns(self):
+        def worker(tag, out):
+            yield Timeout(0.5)
+            out.append(tag)
+
+        seq_out = []
+        sim_a = Simulator()
+        for i in range(5):
+            sim_a.spawn(worker(i, seq_out), name="proc")
+        sim_a.run()
+
+        batch_out = []
+        sim_b = Simulator()
+        procs = sim_b.spawn_many(
+            [worker(i, batch_out) for i in range(5)], name="proc"
+        )
+        sim_b.run()
+        assert batch_out == seq_out
+        assert [p.name for p in procs] == [f"proc-{i}" for i in range(5)]
+        assert not any(p.alive for p in procs)
+
+    def test_spawn_many_mid_run_uses_current_time(self):
+        sim = Simulator()
+        started = []
+
+        def child():
+            started.append(sim.now)
+            yield Timeout(0.1)
+
+        def parent():
+            yield Timeout(2.0)
+            sim.spawn_many([child(), child()])
+
+        sim.spawn(parent())
+        sim.run()
+        assert started == [2.0, 2.0]
+
+    def test_empty_batch(self):
+        sim = Simulator()
+        assert sim.spawn_many([]) == []
