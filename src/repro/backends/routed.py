@@ -224,6 +224,18 @@ class RoutedEngine:
         name = self.router.peek(spec)
         return self.engines[name].optimize(spec, dop_hint=dop_hint)
 
+    # -- health ------------------------------------------------------------------
+
+    def suspend_backend(self, name: str) -> None:
+        """Route queries around *name* (fleet health signal) until
+        restored; transactions stay pinned — their backend holds the
+        lock tables, so moving them mid-run would corrupt contention
+        state rather than improve availability."""
+        self.router.suspend_backend(name)
+
+    def restore_backend(self, name: str) -> None:
+        self.router.restore_backend(name)
+
     # -- counters ------------------------------------------------------------
 
     def counter_totals(self) -> Dict[str, float]:

@@ -144,28 +144,65 @@ class Router:
         self.decisions: Dict[str, int] = {name: 0 for name in self.order}
         self.fallbacks = 0
         self.inflight: Dict[str, int] = {name: 0 for name in self.order}
+        #: Backends currently suspected unhealthy (fleet health signal);
+        #: placements route around them while alternatives exist.
+        self.suspended: set = set()
+        self.reroutes = 0
 
     # -- placement -------------------------------------------------------------
 
     def route(self, spec: QuerySpec) -> str:
         """Pick a backend for *spec* and record the decision."""
-        choice, fallback = self._choose(spec)
+        choice, fallback, rerouted = self._choose(spec)
         self.decisions[choice] += 1
         if fallback:
             self.fallbacks += 1
+        if rerouted:
+            self.reroutes += 1
         return choice
 
     def peek(self, spec: QuerySpec) -> str:
         """The backend :meth:`route` would pick now, without recording."""
-        choice, _ = self._choose(spec)
+        choice, _, _ = self._choose(spec)
         return choice
 
-    def _choose(self, spec: QuerySpec) -> Tuple[str, bool]:
+    # -- health ------------------------------------------------------------------
+
+    def suspend_backend(self, name: str) -> None:
+        """Mark a backend suspected unhealthy: placements route around
+        it while at least one healthy backend remains (with every
+        backend suspended the suspensions are ignored — degraded service
+        beats refusing to place)."""
+        if name not in self.engines:
+            raise ConfigurationError(f"cannot suspend unknown backend {name!r}")
+        self.suspended.add(name)
+
+    def restore_backend(self, name: str) -> None:
+        """Clear a backend's suspension (health recovered)."""
+        self.suspended.discard(name)
+
+    def _healthy(self) -> Tuple[str, ...]:
+        healthy = tuple(n for n in self.order if n not in self.suspended)
+        return healthy or self.order
+
+    def _choose(self, spec: QuerySpec) -> Tuple[str, bool, bool]:
+        choice, fallback = self._choose_from(spec, self.order)
+        if choice in self.suspended:
+            healthy = self._healthy()
+            if choice not in healthy:
+                choice, fallback = self._choose_from(spec, healthy)
+                return choice, fallback, True
+        return choice, fallback, False
+
+    def _choose_from(self, spec: QuerySpec,
+                     order: Tuple[str, ...]) -> Tuple[str, bool]:
         if self._pinned is not None:
-            return self._pinned, False
+            if self._pinned in order:
+                return self._pinned, False
+            return order[0], False
         if self.policy == POLICY_RULE_BASED:
-            return self._route_rule_based(spec)
-        return self._route_cost_scored(spec), False
+            return self._route_rule_based(spec, order)
+        return self._route_cost_scored(spec, order), False
 
     def engine_for(self, spec: QuerySpec) -> Tuple[str, SqlEngine]:
         name = self.route(spec)
@@ -179,30 +216,32 @@ class Router:
 
     # -- policies --------------------------------------------------------------
 
-    def _best_by(self, attribute: str) -> str:
-        """Backend maximizing a profile score; configuration order breaks
-        ties (max() keeps the first of equal keys)."""
+    def _best_by(self, attribute: str, order: Tuple[str, ...]) -> str:
+        """Backend in *order* maximizing a profile score; configuration
+        order breaks ties (max() keeps the first of equal keys)."""
         return max(
-            self.order,
+            order,
             key=lambda name: getattr(self.profiles[name], attribute),
         )
 
-    def _route_rule_based(self, spec: QuerySpec) -> Tuple[str, bool]:
+    def _route_rule_based(self, spec: QuerySpec,
+                          order: Tuple[str, ...]) -> Tuple[str, bool]:
         demand = estimate_demand(
             spec, next(iter(self.engines.values())).database
         )
         if demand.point_lookup:
-            return self._best_by("point_lookup_score"), False
+            return self._best_by("point_lookup_score", order), False
         if demand.scan_bytes >= BIG_SCAN_BYTES:
-            return self._best_by("scan_bandwidth_score"), False
+            return self._best_by("scan_bandwidth_score", order), False
         if demand.short_query:
-            return self._best_by("memory_elasticity"), False
-        return self.order[0], True
+            return self._best_by("memory_elasticity", order), False
+        return order[0], True
 
-    def _route_cost_scored(self, spec: QuerySpec) -> str:
+    def _route_cost_scored(self, spec: QuerySpec,
+                           order: Tuple[str, ...]) -> str:
         best_name = None
         best_score = None
-        for name in self.order:
+        for name in order:
             engine = self.engines[name]
             optimized = engine.optimize(spec)
             profile = self.profiles[name]
@@ -229,4 +268,6 @@ class Router:
             "router_policy": self.policy,
             "router_decisions": dict(self.decisions),
             "router_fallbacks": self.fallbacks,
+            "router_reroutes": self.reroutes,
+            "router_suspended": sorted(self.suspended),
         }

@@ -12,6 +12,8 @@ Usage::
     python -m repro run tpch 10 --router cost-scored
     python -m repro route fig2 --policy rule-based
     python -m repro route admission
+    python -m repro chaos --seed 1 --scenario failover
+    python -m repro chaos --seeds 1,2,3 --scenario hedging --compare-hedging
     python -m repro backends
     python -m repro figure table2
     python -m repro figure fig7
@@ -296,6 +298,49 @@ def _build_parser() -> argparse.ArgumentParser:
                        "policy (default: 30)")
     _add_runner_options(route)
     _add_supervision_options(route)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos schedule against a replicated fleet",
+        description="Builds a replicated shard group (N engine replicas on "
+        "one simulated clock with heartbeat failure detection and hedged "
+        "reads), composes a reproducible fault schedule from the seed, "
+        "drives writer/reader clients through it, and audits the four "
+        "resilience invariants: no acknowledged durable write lost, "
+        "unavailability bounded by the detection+promotion budget, hedged "
+        "p99 no worse than unhedged under the same schedule (with "
+        "--compare-hedging), and bit-identical replay digests (checked "
+        "automatically when the schedule is empty, or with "
+        "--check-determinism).  Exits 1 if any invariant is violated.",
+    )
+    from repro.faults.chaos import SCENARIOS
+
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="schedule seed (default: 0)")
+    chaos.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                       help="comma-separated seeds for a soak; overrides "
+                       "--seed")
+    chaos.add_argument("--duration", type=float, default=3.0,
+                       help="simulated seconds per run (default: 3)")
+    chaos.add_argument("--scenario", "--faults", dest="scenario",
+                       choices=sorted(SCENARIOS), default="mixed",
+                       help="fault mix to schedule (default: mixed; 'none' "
+                       "runs fault-free and checks determinism)")
+    chaos.add_argument("--episodes", type=int, default=3,
+                       help="fault episodes per run (default: 3)")
+    chaos.add_argument("--replicas", type=int, default=3,
+                       help="replica-group size (default: 3)")
+    chaos.add_argument("--no-hedging", action="store_true",
+                       help="disable hedged reads in the primary run")
+    chaos.add_argument("--compare-hedging", action="store_true",
+                       help="re-run the identical schedule with hedging off "
+                       "and gate on the p99 comparison")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="replay the run and require a bit-identical "
+                       "report digest (always on for empty schedules)")
+    chaos.add_argument("--journal", default=None, metavar="PATH",
+                       help="append schedule/episode/failover/report events "
+                       "to this JSONL journal")
 
     sub.add_parser(
         "backends", help="list engine personalities and their profiles"
@@ -721,6 +766,66 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.core.journal import SweepJournal
+    from repro.faults.chaos import ChaosConfig, run_chaos
+
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    else:
+        seeds = [args.seed]
+    journal = SweepJournal(args.journal) if args.journal else None
+    violations = 0
+    for seed in seeds:
+        config = ChaosConfig(
+            seed=seed,
+            duration=args.duration,
+            replicas=args.replicas,
+            scenario=args.scenario,
+            episodes=args.episodes,
+            hedging=not args.no_hedging,
+        )
+        report = run_chaos(
+            config,
+            journal=journal,
+            compare_hedging=args.compare_hedging,
+            check_determinism=True if args.check_determinism else None,
+        )
+        print(f"chaos-schedule: seed={seed} scenario={args.scenario} "
+              f"episodes={len(report.schedule)}")
+        for episode in report.schedule:
+            print(f"  t={episode.at:7.3f}s {episode.kind:<9} "
+                  f"replica={episode.replica} duration={episode.duration:.3f}s")
+        fleet = report.fleet
+        print(f"  writes acked={int(fleet.get('writes_acked', 0))} "
+              f"failovers={int(fleet.get('failovers', 0))} "
+              f"epoch={int(fleet.get('epoch', 0))} "
+              f"unavailable={fleet.get('unavailable_seconds', 0.0):.3f}s")
+        hedging = report.hedging
+        print(f"  reads={int(hedging.get('reads', 0))} "
+              f"hedges={int(hedging.get('hedges', 0))} "
+              f"hedge_wins={int(hedging.get('hedge_wins', 0))}")
+        if report.failover_windows:
+            worst = max(report.failover_windows)
+            print(f"  failover windows: worst={worst:.3f}s "
+                  f"bound={report.availability_bound:.3f}s")
+        if report.read_p99 is not None:
+            line = f"  read p99: {report.read_p99 * 1000.0:.2f}ms"
+            if report.unhedged_read_p99 is not None:
+                line += f" (unhedged {report.unhedged_read_p99 * 1000.0:.2f}ms)"
+            print(line)
+        for line in report.summary_lines():
+            print(line)
+        print(f"chaos-complete: seed={seed} ok={report.ok} "
+              f"digest={report.digest[:16]}")
+        if not report.ok:
+            violations += 1
+            print(f"chaos-violation: seed={seed} "
+                  f"invariants={','.join(report.violations())}",
+                  file=sys.stderr)
+    return 1 if violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -729,6 +834,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "admission": _cmd_admission,
         "route": _cmd_route,
+        "chaos": _cmd_chaos,
         "backends": _cmd_backends,
         "figure": _cmd_figure,
         "report": _cmd_report,

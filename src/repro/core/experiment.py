@@ -157,6 +157,7 @@ class Experiment:
             router_policy=config.router,
             router_decisions=dict(routing.get("router_decisions", {})),
             router_fallbacks=int(routing.get("router_fallbacks", 0)),
+            router_reroutes=int(routing.get("router_reroutes", 0)),
         )
 
     def _collect_plan_signatures(

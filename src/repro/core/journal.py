@@ -88,10 +88,13 @@ class SweepJournal:
             if not isinstance(entry, dict):
                 log.warning("sweep journal %s: skipping non-record line %d",
                             self.path, number)
+            elif "event" in entry:
+                # Events may also carry a digest (e.g. per-point chaos
+                # schedules) — the event marker wins, or a reloaded note
+                # would masquerade as an attempt record.
+                self._events.append(entry)
             elif "digest" in entry:
                 self._remember(entry)
-            elif "event" in entry:
-                self._events.append(entry)
 
     def _remember(self, entry: Dict) -> None:
         self._entries.append(entry)

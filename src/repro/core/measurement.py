@@ -60,6 +60,16 @@ class Measurement:
     #: per-backend query placements made by the router this run
     router_decisions: Dict[str, int] = field(default_factory=dict)
     router_fallbacks: int = 0           #: rule-based default-route count
+    router_reroutes: int = 0            #: placements moved off a suspended backend
+    # -- fleet resilience provenance (repro.fleet / repro.faults.chaos);
+    # -- zero / None for ordinary single-engine and routed runs.
+    failovers: int = 0                  #: primary promotions during the run
+    hedges: int = 0                     #: hedged read attempts launched
+    hedge_wins: int = 0                 #: hedges that beat the primary attempt
+    unavailable_seconds: float = 0.0    #: client-observed write outage time
+    #: Full fleet counter snapshot (ReplicaGroup.summary()), None outside
+    #: chaos/fleet runs.
+    fleet_summary: Optional[Dict[str, float]] = None
 
     # -- derived observables -------------------------------------------------
 

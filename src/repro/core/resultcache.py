@@ -44,7 +44,11 @@ log = logging.getLogger(__name__)
 #: v3: Measurement grew backend/router provenance, and ExperimentConfig
 #: grew the backend/router fields (which also enter the config digest —
 #: cross-backend runs can never collide on cache entries).
-CACHE_FORMAT_VERSION = 3
+#: v4: Measurement grew fleet-resilience fields (failovers, hedges,
+#: unavailable_seconds, fleet_summary) and router_reroutes, and
+#: StorageBrownout grew latency_factor (which enters fault-carrying
+#: config digests); v3 pickles lack the new attributes.
+CACHE_FORMAT_VERSION = 4
 
 #: Environment variable consulted for a default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -186,6 +190,13 @@ class ResultCache:
             if header != hashlib.sha256(payload).hexdigest().encode("ascii"):
                 raise ValueError("cache entry checksum mismatch")
             measurement = pickle.loads(payload)
+            if not isinstance(measurement, Measurement):
+                # A checksum-valid pickle of the wrong type (e.g. a file
+                # swapped between caches) is just as unusable as torn bytes.
+                raise ValueError(
+                    f"cache entry holds {type(measurement).__name__}, "
+                    "not Measurement"
+                )
         except Exception as exc:
             # Corrupt bytes can raise almost anything (UnpicklingError,
             # EOFError, ValueError, AttributeError, ...); any of them
@@ -205,11 +216,24 @@ class ResultCache:
         worker process is touched, and hands the supervisor the digests
         it needs anyway for journaling and delta-dispatch — no config is
         ever hashed twice.
+
+        Robustness contract: one bad entry is *that key's* miss, never
+        the batch's failure.  A corrupt or quarantined entry (torn
+        write, chaos-killed worker mid-``put``, wrong-type payload) is
+        already downgraded by :meth:`get_by_digest`; anything it still
+        manages to raise is caught here per key so a thousand-point
+        probe cannot be aborted by one damaged file.
         """
-        return [
-            (digest, self.get_by_digest(digest))
-            for digest in (self.digest(config) for config in configs)
-        ]
+        results: List[Tuple[str, Optional[Measurement]]] = []
+        for config in configs:
+            digest = self.digest(config)
+            try:
+                hit = self.get_by_digest(digest)
+            except Exception:
+                self.misses += 1
+                hit = None
+            results.append((digest, hit))
+        return results
 
     def _quarantine(self, path: Path, exc: BaseException) -> None:
         self.corrupt += 1

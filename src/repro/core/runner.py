@@ -56,14 +56,20 @@ from repro.core.journal import (
     SweepJournal,
 )
 from repro.core.measurement import Measurement
-from repro.core.resultcache import ResultCache, calibration_token, config_digest
+from repro.core.resultcache import (
+    ResultCache,
+    calibration_token,
+    canonical_json,
+    config_digest,
+)
 from repro.errors import (
     ConfigurationError,
     ExperimentTimeout,
     SimulatedWorkerCrash,
     SweepExecutionError,
 )
-from repro.faults.spec import harness_faults
+from repro.faults.spec import harness_faults, simulation_faults
+from repro.sim.randomness import RandomStreams
 
 log = logging.getLogger(__name__)
 
@@ -162,6 +168,17 @@ class SupervisionPolicy:
     ``backoff`` / ``backoff_factor`` / ``max_backoff``
         Exponential delay between crash retries (seconds):
         ``min(backoff * factor**n, max_backoff)`` after the n-th failure.
+    ``backoff_jitter`` / ``jitter_seed``
+        With ``backoff_jitter`` (the default) each actual sleep is drawn
+        uniformly from ``[0, retry_delay)`` — "full jitter", which
+        decorrelates retry storms: when a shared cause (pool break, OOM
+        burst) fails many configs at once, exponential backoff alone
+        retries them in one synchronized wave that can re-trigger the
+        cause.  Draws come from a named
+        :class:`~repro.sim.randomness.RandomStreams` stream keyed by the
+        config digest under ``jitter_seed``, so a resumed or repeated
+        sweep schedules byte-identical retry times.
+        :meth:`retry_delay` still reports the deterministic ceiling.
     ``on_error``
         ``"raise"``: first exhausted failure aborts the sweep (chained
         :class:`~repro.errors.SweepExecutionError`).  ``"skip"`` and
@@ -189,6 +206,8 @@ class SupervisionPolicy:
     backoff: float = 0.25
     backoff_factor: float = 2.0
     max_backoff: float = 10.0
+    backoff_jitter: bool = True
+    jitter_seed: int = 0
     on_error: str = "raise"
     retry_timeouts: bool = False
     poll_interval: float = 0.05
@@ -271,18 +290,29 @@ class SweepReport:
     #: in the sweep (empty for single-backend sweeps).
     router_decisions: Dict[str, int] = field(default_factory=dict)
     router_fallbacks: int = 0
+    router_reroutes: int = 0
+    #: Fleet-resilience totals summed over every measurement (zero for
+    #: sweeps that never ran a replicated or hedged configuration).
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def observe_routing(self, measurement: Measurement) -> None:
-        """Fold one measurement's routing counters into the sweep totals."""
+        """Fold one measurement's routing and fleet counters into the
+        sweep totals."""
         for name, count in measurement.router_decisions.items():
             self.router_decisions[name] = (
                 self.router_decisions.get(name, 0) + count
             )
         self.router_fallbacks += measurement.router_fallbacks
+        self.router_reroutes += measurement.router_reroutes
+        self.failovers += measurement.failovers
+        self.hedges += measurement.hedges
+        self.hedge_wins += measurement.hedge_wins
 
     def successes(self) -> List[Measurement]:
         return [m for m in self.measurements if m is not None]
@@ -407,6 +437,10 @@ class _Supervisor:
         self._token = cache.token if cache is not None else None
         self._breaker = _CircuitBreaker(policy, jobs)
         self._pool: Optional[workerpool.WarmPool] = None
+        # Per-digest jitter streams: keyed by config digest so a resumed
+        # sweep redraws the same retry schedule, forked off the sweep
+        # runner's own namespace so no simulation stream is perturbed.
+        self._jitter = RandomStreams(policy.jitter_seed).fork("retry-backoff")
 
     # -- digests / journal -----------------------------------------------------
 
@@ -436,6 +470,18 @@ class _Supervisor:
                 policy=measurement.router_policy,
                 decisions=dict(measurement.router_decisions),
                 fallbacks=measurement.router_fallbacks,
+                reroutes=measurement.router_reroutes,
+            )
+        if self.journal is not None and (
+            measurement.failovers or measurement.hedges
+        ):
+            self.journal.note(
+                "fleet",
+                digest=item.digest,
+                failovers=measurement.failovers,
+                hedges=measurement.hedges,
+                hedge_wins=measurement.hedge_wins,
+                unavailable_seconds=measurement.unavailable_seconds,
             )
         if self.cache is not None:
             self.cache.put(item.config, measurement, digest=item.digest)
@@ -463,6 +509,21 @@ class _Supervisor:
             self.journal.note("breaker", transition=transition,
                               jobs=self._breaker.jobs)
 
+    def _backoff_delay(self, item: _Item) -> float:
+        """The actual sleep before *item*'s next attempt.
+
+        :meth:`SupervisionPolicy.retry_delay` gives the exponential
+        ceiling; with ``backoff_jitter`` the sleep is drawn uniformly
+        from ``[0, ceiling)`` (full jitter) out of the item's own named
+        stream, so repeated runs — and resumed sweeps, which key the
+        stream by digest — schedule identical retry times while
+        concurrent retries of *different* configs decorrelate.
+        """
+        ceiling = self.policy.retry_delay(item.failures)
+        if not self.policy.backoff_jitter or ceiling <= 0:
+            return ceiling
+        return float(self._jitter.get(item.digest).uniform(0.0, ceiling))
+
     def _fail(self, item: _Item, kind: str, exc: Optional[BaseException]) -> bool:
         """Record one failed attempt.
 
@@ -481,7 +542,7 @@ class _Supervisor:
         item.failures += 1
         if self.policy.retryable(kind) and item.failures <= self.policy.retries:
             self.report.retries += 1
-            delay = self.policy.retry_delay(item.failures)
+            delay = self._backoff_delay(item)
             item.eligible = time.monotonic() + delay
             log.warning(
                 "config %d (%s) %s on attempt %d; retrying in %.2fs",
@@ -542,6 +603,17 @@ class _Supervisor:
             base = self.journal.attempts(digest) if self.journal else 0
             pending.append(_Item(index=index, config=config, digest=digest,
                                  base_attempts=base))
+            sim_faults = simulation_faults(config.faults)
+            if sim_faults and self.journal is not None:
+                # Record the fault schedule a chaos-faulted point will run
+                # under; a resumed sweep re-notes the same canonical
+                # payload, so journals from interrupted chaos sweeps
+                # replay-match (tests/fleet/test_chaos_resume.py).
+                self.journal.note(
+                    "chaos",
+                    digest=digest,
+                    faults=[canonical_json(f) for f in sim_faults],
+                )
         if not pending:
             return self.report
         if self.jobs == 1 and self.policy.timeout is None:

@@ -94,6 +94,10 @@ class WarmPool:
     #: (a recycled pool is a *new* generation, which tests assert on).
     generation: int
     tasks_dispatched: int = field(default=0)
+    #: Set by :func:`retire`; makes retirement idempotent (a pool can be
+    #: retired both by a failing sweep and by the atexit sweep, or twice
+    #: when chaos kills its workers while a retire is in flight).
+    retired: bool = field(default=False)
 
     @property
     def broken(self) -> bool:
@@ -147,10 +151,19 @@ def retire(pool: WarmPool, kill: bool = False) -> None:
     stop attempts that are already running (a busy worker cannot be
     interrupted portably).  Pending futures are cancelled either way, so
     a fail-fast sweep stops instead of draining its queue.
+
+    Idempotent: retiring a pool that is already retired — or whose
+    workers a chaos fault already killed — is a no-op, not an exception,
+    and is counted once.  The registry entry is removed *before* any
+    process teardown so a teardown failure can never leave a dead pool
+    discoverable.
     """
     current = _pools.get(pool.workers)
     if current is pool:
         del _pools[pool.workers]
+    if pool.retired:
+        return
+    pool.retired = True
     _stats["retired"] += 1
     if kill:
         kill_workers(pool.executor)
@@ -158,6 +171,10 @@ def retire(pool: WarmPool, kill: bool = False) -> None:
         pool.executor.shutdown(wait=False, cancel_futures=True)
     except TypeError:  # pragma: no cover - cancel_futures is 3.9+
         pool.executor.shutdown(wait=False)
+    except Exception:  # pragma: no cover - already-dead executor state
+        # A pool whose workers were externally killed can surface broken
+        # internals from shutdown(); the pool is gone either way.
+        pass
 
 
 def kill_workers(executor: ProcessPoolExecutor) -> None:

@@ -143,6 +143,8 @@ class RouterDecisionRow:
     plan_cache_hits: int
     plan_cache_misses: int
     plan_cache_entries: int
+    suspended: bool = False     #: health-suspended (routed around)
+    reroutes: int = 0           #: fleet-wide placements moved off suspended
 
 
 def dm_router_decisions(engine) -> List[RouterDecisionRow]:
@@ -181,9 +183,87 @@ def dm_router_decisions(engine) -> List[RouterDecisionRow]:
                 plan_cache_hits=info["hits"],
                 plan_cache_misses=info["misses"],
                 plan_cache_entries=info["currsize"],
+                suspended=name in router.suspended,
+                reroutes=router.reroutes,
             )
         )
     return rows
+
+
+@dataclass(frozen=True)
+class ReplicaHealthRow:
+    """One row of ``dm_fleet_replicas``: a replica's role, reachability,
+    replication progress, and the failure detector's current view."""
+
+    replica: int
+    role: str                   #: "primary" | "secondary"
+    up: bool
+    fenced: bool
+    partitioned: bool
+    durable_lsn: int
+    checkpoint_lsn: int
+    recoveries: int
+    suspicion: float            #: phi-accrual score (0.0 without a monitor)
+    suspected: bool
+
+
+def dm_fleet_replicas(group, monitor=None) -> List[ReplicaHealthRow]:
+    """Fleet membership and health, one row per replica.
+
+    Duck-typed over :class:`~repro.fleet.replicas.ReplicaGroup` plus an
+    optional :class:`~repro.fleet.health.HeartbeatMonitor` — the DMV
+    module stays importable without the fleet package loaded.
+    """
+    rows = []
+    for replica in group.replicas:
+        if monitor is not None:
+            suspicion = monitor.suspicion(replica.index)
+            suspected = monitor.suspected(replica.index)
+        else:
+            suspicion, suspected = 0.0, False
+        rows.append(
+            ReplicaHealthRow(
+                replica=replica.index,
+                role=replica.role,
+                up=replica.up,
+                fenced=replica.fenced,
+                partitioned=replica.partitioned,
+                durable_lsn=replica.durable_lsn,
+                checkpoint_lsn=replica.checkpoint_lsn,
+                recoveries=replica.recoveries,
+                suspicion=suspicion,
+                suspected=suspected,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class HedgeOutcomeRow:
+    """One row of ``dm_hedge_outcomes``: the hedged-read policy's
+    counters plus the budget's remaining headroom."""
+
+    reads: int
+    hedges: int
+    hedge_wins: int
+    budget_denied: int
+    sheds: int
+    stalls: int
+    budget_tokens: float        #: default tenant's remaining hedge tokens
+
+
+def dm_hedge_outcomes(reader) -> HedgeOutcomeRow:
+    """Hedging effectiveness for a
+    :class:`~repro.fleet.hedging.HedgedReader` (duck-typed)."""
+    return HedgeOutcomeRow(
+        reads=reader.reads,
+        hedges=reader.hedges,
+        hedge_wins=reader.hedge_wins,
+        budget_denied=reader.budget_denied,
+        sheds=reader.sheds,
+        stalls=reader.stalls,
+        budget_tokens=reader.budget.tokens(),
+    )
 
 
 @dataclass(frozen=True)

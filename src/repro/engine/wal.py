@@ -24,9 +24,14 @@ Two robustness features support fault injection (:mod:`repro.faults`):
 
 from __future__ import annotations
 
-from typing import Generator, List, NamedTuple, Tuple
+from typing import Generator, List, NamedTuple, Sequence, Tuple
 
-from repro.errors import ConfigurationError, FaultInjectionError, TransientIOError
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+    RecoveryError,
+    TransientIOError,
+)
 from repro.hardware.storage import NvmeDevice
 from repro.sim.process import Simulator, Timeout, WaitEvent
 from repro.units import KIB
@@ -76,6 +81,8 @@ class WriteAheadLog:
         self.total_log_bytes = 0.0
         self.total_flushes = 0
         self.total_flush_retries = 0
+        self.shipped_records = 0
+        self.truncated_records = 0
 
     @property
     def next_lsn(self) -> int:
@@ -109,6 +116,82 @@ class WriteAheadLog:
             self._sim.loop.schedule_after(self.flush_interval, self._on_timer)
         yield gate
         return record.lsn
+
+    def apply_shipped(self, records: Sequence[WalRecord]) -> Generator:
+        """Generator: standby redo — apply records from a primary's stream.
+
+        A secondary replica durably applies already-sequenced records
+        shipped by its primary: one device write for the batch (the
+        standby's own durability point, so brownouts and transient
+        errors on the standby's device slow or retry the apply exactly
+        like a local flush), then the log extends and ``durable_lsn``
+        advances to the primary's numbering.  Records at or below the
+        current ``durable_lsn`` are skipped — re-shipping after a
+        partition heals is idempotent.  Returns the count of records
+        newly made durable.
+
+        ``_next_lsn`` tracks the applied stream, so a promoted standby
+        continues the primary's LSN sequence instead of reusing numbers
+        that already exist on its peers.
+        """
+        fresh: List[WalRecord] = []
+        last = self.durable_lsn
+        for record in records:
+            if record.lsn <= self.durable_lsn:
+                continue
+            if fresh and record.lsn <= last:
+                raise RecoveryError(
+                    f"shipped records out of order: {record.lsn} after {last}"
+                )
+            fresh.append(record)
+            last = record.lsn
+        if not fresh:
+            return 0
+        nbytes = sum(r.nbytes for r in fresh)
+        attempt = 0
+        while True:
+            try:
+                yield from self._device.write(nbytes)
+                break
+            except TransientIOError:
+                if attempt >= self.max_flush_retries:
+                    raise FaultInjectionError(
+                        f"standby apply failed after {attempt + 1} attempts "
+                        f"({nbytes:.0f} bytes)"
+                    )
+                self.total_flush_retries += 1
+                yield Timeout(min(self.retry_backoff * (2.0 ** attempt),
+                                  self.max_retry_backoff))
+                attempt += 1
+        applied = 0
+        for record in fresh:
+            # A record shipped twice concurrently (quorum retry racing a
+            # catch-up) must still land exactly once.
+            if record.lsn <= self.durable_lsn:
+                continue
+            self.durable_records.append(record)
+            self.durable_lsn = record.lsn
+            applied += 1
+        self.shipped_records += applied
+        self._next_lsn = max(self._next_lsn, self.durable_lsn + 1)
+        return applied
+
+    def truncate_to(self, lsn: int) -> int:
+        """Drop durable records above *lsn*; returns how many were dropped.
+
+        Divergence repair on rejoin: a demoted primary may hold records
+        that were durable only locally (never quorum-acknowledged) while
+        the new primary issued different records under the same LSNs.
+        The rejoining replica truncates to the common prefix before
+        catch-up re-ships the authoritative history.
+        """
+        kept = [r for r in self.durable_records if r.lsn <= lsn]
+        dropped = len(self.durable_records) - len(kept)
+        self.durable_records = kept
+        self.durable_lsn = kept[-1].lsn if kept else 0
+        self._next_lsn = self.durable_lsn + 1
+        self.truncated_records += dropped
+        return dropped
 
     def _on_timer(self, _event) -> None:
         self._flusher_armed = False

@@ -80,6 +80,16 @@ class RecoveryError(ReproError):
     """
 
 
+class ChaosInvariantError(ReproError):
+    """A chaos episode violated a fleet resilience invariant.
+
+    Raised by :meth:`repro.faults.chaos.ChaosReport.raise_on_violation`
+    when a schedule lost an acknowledged durable write, exceeded the
+    bounded unavailability window, worsened p99 under hedging, or failed
+    the empty-schedule determinism check.
+    """
+
+
 class ExperimentTimeout(ReproError):
     """A supervised experiment exceeded its wall-clock timeout."""
 

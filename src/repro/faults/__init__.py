@@ -27,6 +27,7 @@ from repro.faults.spec import (
     FaultSpec,
     GrantStorm,
     HarnessFault,
+    ReplicaPartition,
     SimulationFault,
     StorageBrownout,
     TransientWriteErrors,
@@ -51,6 +52,7 @@ __all__ = [
     "GrantStorm",
     "HarnessFault",
     "RecoveryResult",
+    "ReplicaPartition",
     "SimulationFault",
     "StorageBrownout",
     "TransientWriteErrors",

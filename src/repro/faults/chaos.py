@@ -1,0 +1,547 @@
+"""Seeded chaos scheduling over a replicated fleet.
+
+The chaos scheduler composes the repo's fault vocabulary
+(:class:`~repro.faults.spec.CrashPoint`,
+:class:`~repro.faults.spec.StorageBrownout`,
+:class:`~repro.faults.spec.GrantStorm`,
+:class:`~repro.faults.spec.ReplicaPartition`) into a **reproducible
+schedule** of episodes against a live
+:class:`~repro.fleet.replicas.ReplicaGroup` — N engine replicas on one
+simulated clock with heartbeat failure detection
+(:mod:`repro.fleet.health`) and hedged reads
+(:mod:`repro.fleet.hedging`) — while writer and reader client processes
+drive load.  Everything stochastic draws from
+:class:`~repro.sim.randomness.RandomStreams` named streams derived from
+one seed, so a schedule replays bit-identically: same seed, same
+faults, same interleavings, same report digest.
+
+After the run the :class:`ChaosReport` checks four invariants:
+
+(a) **durability** — no acknowledged durable write lost: every LSN the
+    group acknowledged is durable on at least one surviving replica
+    (:meth:`~repro.fleet.replicas.ReplicaGroup.audit_durability`);
+(b) **bounded unavailability** — every failover's promotion window
+    (fault observed → new primary installed) fits inside the failure
+    detector's detection + promotion budget
+    (:meth:`~repro.fleet.health.FailoverController.availability_bound`);
+(c) **hedging helps** — with ``compare_hedging``, client p99 read
+    latency under hedging is no worse than the same seeded schedule
+    with hedging disabled (injected stragglers are what hedges dodge);
+(d) **determinism** — an empty schedule replays to a bit-identical
+    report digest, i.e. the fleet machinery itself adds no
+    nondeterminism over the seed engines.
+
+Episodes are laid out in disjoint time slots, so at most one replica is
+faulted at a time and a 3-replica group never loses its quorum to the
+scheduler itself — which is what makes (a) and (b) *hard* gates rather
+than statistical ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.backends.base import DEFAULT_BACKEND, make_backend
+from repro.core.knobs import ResourceAllocation
+from repro.core.resultcache import canonical_json
+from repro.errors import (
+    ChaosInvariantError,
+    FaultInjectionError,
+    GrantTimeoutError,
+)
+from repro.faults.spec import (
+    CrashPoint,
+    FaultSpec,
+    GrantStorm,
+    ReplicaPartition,
+    StorageBrownout,
+)
+from repro.fleet.health import FailoverController, HeartbeatMonitor
+from repro.fleet.hedging import HedgedReader, RetryBudget
+from repro.fleet.replicas import Replica, ReplicaGroup
+from repro.hardware.machine import Machine, MachineSpec
+from repro.sim.process import Simulator, Timeout
+from repro.sim.randomness import RandomStreams
+from repro.units import KIB
+from repro.workloads import make_workload
+
+#: Named fault mixes the CLI / CI matrix selects by name.
+SCENARIOS: Dict[str, Tuple[str, ...]] = {
+    "failover": ("crash",),
+    "hedging": ("brownout",),
+    "partition": ("partition",),
+    "storm": ("storm",),
+    "mixed": ("crash", "brownout", "partition", "storm"),
+    "none": (),
+}
+
+#: Tolerance on invariant (c): hedged p99 may exceed unhedged p99 by at
+#: most this relative slack (hedging must never *hurt* the tail, but two
+#: different interleavings can tie to within scheduling noise).
+HEDGING_P99_TOLERANCE = 1.02
+
+
+@dataclass(frozen=True)
+class ChaosEpisode:
+    """One scheduled fault: what, when, against which replica."""
+
+    at: float
+    kind: str  # "crash" | "brownout" | "partition" | "storm"
+    replica: int
+    duration: float
+    spec: FaultSpec
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything a chaos run needs; hashable and cache-canonical."""
+
+    seed: int = 0
+    duration: float = 3.0
+    replicas: int = 3
+    scenario: str = "mixed"
+    episodes: int = 3
+    hedging: bool = True
+    workload: str = "asdb"
+    scale_factor: int = 10
+    backend: str = DEFAULT_BACKEND
+    writers: int = 4
+    readers: int = 4
+    write_interval: float = 0.02
+    read_interval: float = 0.01
+    write_bytes: float = 16 * KIB
+    read_bytes: float = 256 * KIB
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise FaultInjectionError("chaos duration must be positive")
+        if self.replicas < 2:
+            raise FaultInjectionError("a fleet needs at least 2 replicas")
+        if self.episodes < 0:
+            raise FaultInjectionError("episodes must be >= 0")
+        if self.scenario not in SCENARIOS:
+            raise FaultInjectionError(
+                f"unknown scenario {self.scenario!r}; one of {sorted(SCENARIOS)}"
+            )
+
+
+def generate_schedule(
+    seed: int,
+    duration: float,
+    kinds: Sequence[str],
+    replicas: int = 3,
+    episodes: int = 3,
+) -> Tuple[ChaosEpisode, ...]:
+    """Deterministic episode schedule from one seed.
+
+    Episodes land in disjoint slots inside ``[0.2, 0.9] * duration``:
+    injection in the first 30% of each slot, heal by 80% — so one
+    episode's fault is always healed before the next fires, and the
+    scheduler itself can never take two replicas down at once.
+    """
+    if not kinds or episodes == 0:
+        return ()
+    rng = RandomStreams(seed).fork("chaos").get("schedule")
+    window_start = 0.2 * duration
+    window = 0.7 * duration
+    slot = window / episodes
+    out: List[ChaosEpisode] = []
+    for i in range(episodes):
+        at = window_start + i * slot + float(rng.uniform(0.0, 0.3)) * slot
+        length = float(rng.uniform(0.25, 0.5)) * slot
+        kind = kinds[int(rng.integers(len(kinds)))]
+        target = int(rng.integers(replicas))
+        if kind == "crash":
+            spec: FaultSpec = CrashPoint(at=at)
+        elif kind == "brownout":
+            # A GC-stall-style straggler: point-read latency inflates
+            # ~20x while streaming bandwidth degrades moderately — the
+            # client-visible tail that hedged reads exist to dodge.
+            spec = StorageBrownout(start=at, duration=length,
+                                   read_factor=0.05, write_factor=0.5,
+                                   latency_factor=20.0)
+        elif kind == "partition":
+            spec = ReplicaPartition(start=at, duration=length, replica=target)
+        elif kind == "storm":
+            spec = GrantStorm(at=at, queries=6, pool_fraction=0.2,
+                              hold_seconds=length)
+        else:
+            raise FaultInjectionError(f"unknown chaos kind {kind!r}")
+        out.append(ChaosEpisode(at=at, kind=kind, replica=target,
+                                duration=length, spec=spec))
+    return tuple(out)
+
+
+def episode_payload(episode: ChaosEpisode) -> Dict[str, object]:
+    """A journal/CLI-friendly primitive view of one episode."""
+    return {
+        "at": episode.at,
+        "kind": episode.kind,
+        "replica": episode.replica,
+        "duration": episode.duration,
+    }
+
+
+class _FleetRun:
+    """One seeded execution: fleet, clients, episode drivers, outcome."""
+
+    def __init__(self, config: ChaosConfig,
+                 schedule: Tuple[ChaosEpisode, ...], hedging: bool):
+        self.config = config
+        self.schedule = schedule
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed).fork("chaos-clients")
+        workload = make_workload(config.workload, config.scale_factor)
+        backend = make_backend(config.backend)
+        allocation = ResourceAllocation()
+        replicas = []
+        for i in range(config.replicas):
+            machine = Machine(
+                spec=MachineSpec(),
+                seed=self.streams.fork(f"replica{i}").seed,
+                shared_sim=self.sim,
+            )
+            allocation.apply_to(machine)
+            engine = backend.build_engine(machine, workload, allocation)
+            replicas.append(Replica(index=i, machine=machine, engine=engine))
+        self.group = ReplicaGroup(self.sim, replicas)
+        self.monitor = HeartbeatMonitor(self.group)
+        self.controller = FailoverController(self.group, self.monitor)
+        self.monitor.install()
+        self.controller.install()
+        self.reader = HedgedReader(
+            self.group,
+            monitor=self.monitor,
+            # A brownout episode needs roughly one hedge per affected
+            # read until the slowdown detector reroutes placement; the
+            # default bucket is sized for steady state, not chaos soaks.
+            budget=RetryBudget(self.sim, capacity=64.0, refill_per_s=32.0),
+            enabled=hedging,
+            read_bytes=config.read_bytes,
+        )
+        self.write_latencies: List[float] = []
+        self.read_latencies: List[float] = []
+        self.episode_log: List[Dict[str, object]] = []
+
+    # -- client load -------------------------------------------------------------
+
+    def _writer(self, wid: int, ids) -> Generator:
+        rng = self.streams.get(f"writer{wid}")
+        while True:
+            yield Timeout(float(rng.exponential(self.config.write_interval)))
+            txn_id = next(ids)
+            start = self.sim.now
+            yield from self.group.submit_write(self.config.write_bytes,
+                                               txn_id=txn_id)
+            self.write_latencies.append(self.sim.now - start)
+
+    def _reader_proc(self, rid: int) -> Generator:
+        rng = self.streams.get(f"reader{rid}")
+        tenant = f"tenant{rid % 2}"
+        while True:
+            yield Timeout(float(rng.exponential(self.config.read_interval)))
+            latency = yield from self.reader.read(tenant=tenant)
+            self.read_latencies.append(latency)
+
+    # -- episode drivers ---------------------------------------------------------
+
+    def _drive(self, episode: ChaosEpisode) -> Generator:
+        yield Timeout(episode.at)
+        replica = self.group.replicas[episode.replica]
+        if episode.kind == "brownout":
+            # Brownouts chase the *current* primary: that is the replica
+            # on the unhedged read path, so the straggler is guaranteed
+            # to be client-visible — the adversarial placement a chaos
+            # scheduler should pick.
+            replica = self.group.primary or replica
+        entry = {"kind": episode.kind, "replica": replica.index,
+                 "at": self.sim.now, "duration": episode.duration}
+        if episode.kind == "crash":
+            if replica.up:
+                if replica is self.group.primary:
+                    self.group.note_primary_down()
+                replica.crash()
+                yield Timeout(episode.duration)
+                replica.restart()
+                yield from self.group.rejoin(replica)
+        elif episode.kind == "brownout":
+            spec = episode.spec
+            replica.machine.ssd.apply_brownout(
+                read_factor=spec.read_factor,
+                write_factor=spec.write_factor,
+                latency_factor=spec.latency_factor,
+            )
+            yield Timeout(episode.duration)
+            replica.machine.ssd.clear_brownout()
+        elif episode.kind == "partition":
+            if replica.up and not replica.partitioned:
+                if replica is self.group.primary:
+                    self.group.note_primary_down()
+                replica.partitioned = True
+                yield Timeout(episode.duration)
+                # Heal fenced: a replica that missed an epoch must not be
+                # promotable until rejoin proves its log caught up.
+                replica.fence()
+                replica.partitioned = False
+                yield from self.group.rejoin(replica)
+        elif episode.kind == "storm":
+            spec = episode.spec
+            for q in range(spec.queries):
+                self.sim.spawn(
+                    self._storm_query(replica.engine.semaphore, spec),
+                    name=f"chaos-storm-{episode.replica}-{q}",
+                )
+            yield Timeout(episode.duration)
+        audit = self.group.audit_durability()
+        entry["healed_at"] = self.sim.now
+        entry["acked"] = audit["acked"]
+        entry["lost"] = audit["lost"]
+        self.episode_log.append(entry)
+
+    def _storm_query(self, semaphore, spec: GrantStorm) -> Generator:
+        nbytes = semaphore.pool_bytes * spec.pool_fraction
+        try:
+            ticket = yield from semaphore.acquire(nbytes, name="chaos-storm")
+        except GrantTimeoutError:
+            return None
+        try:
+            yield Timeout(spec.hold_seconds)
+        finally:
+            semaphore.release(ticket)
+        return None
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> None:
+        ids = itertools.count()
+        for wid in range(self.config.writers):
+            self.sim.spawn(self._writer(wid, ids), name=f"chaos-writer-{wid}")
+        for rid in range(self.config.readers):
+            self.sim.spawn(self._reader_proc(rid), name=f"chaos-reader-{rid}")
+        for i, episode in enumerate(self.schedule):
+            self.sim.spawn(self._drive(episode), name=f"chaos-episode-{i}")
+        self.sim.run(until=self.config.duration)
+
+    # -- outcome -----------------------------------------------------------------
+
+    def read_p99(self) -> Optional[float]:
+        if not self.read_latencies:
+            return None
+        return self.reader.latencies.percentile(99.0)
+
+    def failover_windows(self) -> List[float]:
+        return [event["at"] - event["failed_at"]
+                for event in self.group.failovers]
+
+    def digest(self) -> str:
+        """Bit-exact fingerprint of everything a client observed."""
+        payload = {
+            "acked": sorted(self.group.acked_records),
+            "epoch": self.group.epoch,
+            "fleet": self.group.summary(),
+            "hedging": self.reader.summary(),
+            "write_latencies": list(self.write_latencies),
+            "read_latencies": list(self.read_latencies),
+            "failovers": self.group.failovers,
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass
+class ChaosReport:
+    """Outcome + invariant verdicts of one seeded chaos run.
+
+    ``invariants`` maps invariant name to ``True`` (held), ``False``
+    (violated), or ``None`` (not applicable to this run — e.g. the
+    hedging comparison was not requested).
+    """
+
+    config: ChaosConfig
+    schedule: Tuple[ChaosEpisode, ...]
+    episodes: List[Dict[str, object]]
+    fleet: Dict[str, float]
+    hedging: Dict[str, float]
+    audit: Dict[str, object]
+    failover_windows: List[float]
+    availability_bound: float
+    promotions: int
+    digest: str
+    read_p99: Optional[float]
+    unhedged_read_p99: Optional[float]
+    invariants: Dict[str, Optional[bool]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(v is not False for v in self.invariants.values())
+
+    def violations(self) -> List[str]:
+        out = []
+        for name, verdict in sorted(self.invariants.items()):
+            if verdict is False:
+                out.append(name)
+        return out
+
+    def raise_on_violation(self) -> None:
+        bad = self.violations()
+        if bad:
+            raise ChaosInvariantError(
+                f"chaos run (seed={self.config.seed}, "
+                f"scenario={self.config.scenario}) violated: {', '.join(bad)}"
+            )
+
+    def summary_lines(self) -> List[str]:
+        """Greppable one-per-invariant lines for the CLI / CI gates."""
+        lines = []
+        for name, verdict in sorted(self.invariants.items()):
+            state = "n/a" if verdict is None else ("ok" if verdict else "VIOLATED")
+            lines.append(f"invariant {name}: {state}")
+        return lines
+
+
+def run_chaos(
+    config: ChaosConfig,
+    journal=None,
+    compare_hedging: bool = False,
+    check_determinism: Optional[bool] = None,
+) -> ChaosReport:
+    """Execute one seeded chaos schedule and audit its invariants.
+
+    ``journal`` is any object with a ``note(event, **fields)`` method
+    (e.g. :class:`~repro.core.journal.SweepJournal`) — the schedule,
+    every episode, every failover, and the final verdicts are recorded
+    so an interrupted soak replays from evidence.  ``compare_hedging``
+    re-runs the identical schedule with hedging disabled to judge
+    invariant (c); ``check_determinism`` (default: only when the
+    schedule is empty) re-runs and compares report digests for
+    invariant (d).
+    """
+    kinds = SCENARIOS[config.scenario]
+    schedule = generate_schedule(config.seed, config.duration, kinds,
+                                 replicas=config.replicas,
+                                 episodes=config.episodes)
+    if check_determinism is None:
+        check_determinism = not schedule
+    if journal is not None:
+        journal.note("chaos-schedule", seed=config.seed,
+                     scenario=config.scenario,
+                     episodes=[episode_payload(e) for e in schedule])
+
+    run = _FleetRun(config, schedule, hedging=config.hedging)
+    run.run()
+    audit = run.group.audit_durability()
+    windows = run.failover_windows()
+    bound = run.controller.availability_bound()
+    digest = run.digest()
+
+    invariants: Dict[str, Optional[bool]] = {
+        "durability": not audit["lost"],
+        "availability": all(w <= bound for w in windows),
+        "hedging-p99": None,
+        "determinism": None,
+    }
+
+    unhedged_p99: Optional[float] = None
+    if compare_hedging and schedule:
+        baseline = _FleetRun(config, schedule, hedging=False)
+        baseline.run()
+        unhedged_p99 = baseline.read_p99()
+        hedged_p99 = run.read_p99()
+        if hedged_p99 is not None and unhedged_p99 is not None:
+            invariants["hedging-p99"] = (
+                hedged_p99 <= unhedged_p99 * HEDGING_P99_TOLERANCE + 1e-6
+            )
+    if check_determinism:
+        replay = _FleetRun(config, schedule, hedging=config.hedging)
+        replay.run()
+        invariants["determinism"] = replay.digest() == digest
+
+    if journal is not None:
+        for entry in run.episode_log:
+            journal.note("chaos-episode", **entry)
+        for event in run.group.failovers:
+            journal.note("failover", **event)
+        journal.note(
+            "chaos-report",
+            digest=digest,
+            invariants={k: v for k, v in invariants.items()},
+            failover_windows=windows,
+            availability_bound=bound,
+            unavailable_seconds=run.group.summary()["unavailable_seconds"],
+        )
+
+    return ChaosReport(
+        config=config,
+        schedule=schedule,
+        episodes=run.episode_log,
+        fleet=run.group.summary(),
+        hedging=run.reader.summary(),
+        audit=audit,
+        failover_windows=windows,
+        availability_bound=bound,
+        promotions=run.controller.promotions,
+        digest=digest,
+        read_p99=run.read_p99(),
+        unhedged_read_p99=unhedged_p99,
+        invariants=invariants,
+    )
+
+
+def chaos_soak(
+    seeds: Sequence[int],
+    scenario: str = "mixed",
+    journal=None,
+    compare_hedging: bool = False,
+    **config_kwargs,
+) -> List[ChaosReport]:
+    """Run one chaos schedule per seed; reports in seed order."""
+    reports = []
+    for seed in seeds:
+        config = ChaosConfig(seed=seed, scenario=scenario, **config_kwargs)
+        reports.append(run_chaos(config, journal=journal,
+                                 compare_hedging=compare_hedging))
+    return reports
+
+
+def chaos_fault_grid(configs, seed: int = 0,
+                     kinds: Sequence[str] = ("crash", "brownout", "storm")):
+    """Attach one reproducible simulation fault to every sweep config.
+
+    For chaos-under-sweep testing (journal resume after an interrupted
+    chaos sweep): each :class:`~repro.core.experiment.ExperimentConfig`
+    gains one fault drawn from a named stream under *seed*, so two calls
+    with the same arguments produce byte-identical fault tuples — and
+    therefore identical config digests and journal ``chaos`` notes.
+    Only single-engine-injectable kinds are allowed (the sweep path runs
+    one engine per point, so ``partition`` has no meaning there).
+    """
+    import dataclasses
+
+    allowed = {"crash", "brownout", "storm"}
+    bad = set(kinds) - allowed
+    if bad:
+        raise FaultInjectionError(
+            f"sweep-injectable chaos kinds are {sorted(allowed)}; got {sorted(bad)}"
+        )
+    if not kinds:
+        raise FaultInjectionError("chaos_fault_grid needs at least one kind")
+    rng = RandomStreams(seed).fork("chaos-sweep").get("faults")
+    out = []
+    for config in configs:
+        kind = kinds[int(rng.integers(len(kinds)))]
+        at = float(rng.uniform(0.2, 0.5)) * config.duration
+        length = float(rng.uniform(0.1, 0.3)) * config.duration
+        if kind == "crash":
+            spec: FaultSpec = CrashPoint(at=at)
+        elif kind == "brownout":
+            spec = StorageBrownout(start=at, duration=length,
+                                   read_factor=0.2, write_factor=0.5,
+                                   latency_factor=4.0)
+        else:
+            spec = GrantStorm(at=at, queries=4, pool_fraction=0.2,
+                              hold_seconds=length)
+        out.append(dataclasses.replace(config,
+                                       faults=config.faults + (spec,)))
+    return out

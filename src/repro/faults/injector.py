@@ -85,7 +85,8 @@ class FaultInjector:
 
     def _drive_brownout(self, fault: StorageBrownout) -> Generator:
         yield Timeout(fault.start)
-        self.machine.ssd.apply_brownout(fault.read_factor, fault.write_factor)
+        self.machine.ssd.apply_brownout(fault.read_factor, fault.write_factor,
+                                        fault.latency_factor)
         self._log(f"brownout on: read x{fault.read_factor}, "
                   f"write x{fault.write_factor}")
         yield Timeout(fault.duration)

@@ -47,6 +47,9 @@ class StorageBrownout(SimulationFault):
     duration: float
     read_factor: float = 1.0
     write_factor: float = 0.1
+    #: Multiplier on per-page random-read latency (GC stalls inflate
+    #: operation latency, not just streaming throughput); 1.0 = none.
+    latency_factor: float = 1.0
 
     def __post_init__(self):
         if self.start < 0 or self.duration <= 0:
@@ -55,6 +58,8 @@ class StorageBrownout(SimulationFault):
                              ("write_factor", self.write_factor)):
             if not 0 < factor <= 1.0:
                 raise FaultInjectionError(f"{name} must be in (0, 1]")
+        if self.latency_factor < 1.0:
+            raise FaultInjectionError("latency_factor must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -150,6 +155,32 @@ class GrantStorm(SimulationFault):
             raise FaultInjectionError("pool_fraction must be in (0, 1]")
         if self.hold_seconds <= 0:
             raise FaultInjectionError("hold_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ReplicaPartition(SimulationFault):
+    """Network partition isolating one fleet replica.
+
+    From ``start`` for ``duration`` simulated seconds, replica
+    ``replica`` of a :class:`~repro.fleet.replicas.ReplicaGroup` neither
+    receives shipped WAL records nor emits heartbeats; writes it held
+    before the partition stay durable on its local device.  A
+    partitioned primary cannot reach a quorum, so the group's failure
+    detector promotes a secondary and the healed replica rejoins as a
+    fenced secondary through checkpoint-based catch-up.  Fleet-level
+    only: the single-engine :class:`~repro.faults.injector.FaultInjector`
+    has no driver for it (there is no second replica to partition from).
+    """
+
+    start: float
+    duration: float
+    replica: int = 0
+
+    def __post_init__(self):
+        if self.start < 0 or self.duration <= 0:
+            raise FaultInjectionError("partition needs start >= 0, duration > 0")
+        if self.replica < 0:
+            raise FaultInjectionError("replica index must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,42 @@
+"""Fleet resilience: replicated shard groups, failover, and hedging.
+
+The paper characterizes how a *single* engine degrades when resources
+are taken away; the fleet layer models the complementary production
+question — how a group of engine replicas stays available when a whole
+replica browns out, partitions, or crashes:
+
+* :mod:`repro.fleet.replicas` — :class:`ReplicaGroup`: N
+  :class:`~repro.engine.engine.SqlEngine` instances on one simulated
+  clock with primary/secondary roles, synchronous quorum WAL shipping
+  over the existing LSN stream, fencing, and checkpoint-based catch-up
+  on rejoin;
+* :mod:`repro.fleet.health` — heartbeat-driven failure detection
+  (phi-accrual-style suspicion over sim-clock inter-arrival gaps, fed by
+  per-replica service times) driving automatic promotion;
+* :mod:`repro.fleet.hedging` — tail-tolerant reads: hedge after a
+  p95-based delay, per-tenant retry-budget token buckets, and
+  brownout/queue-depth-aware shedding.
+
+The seeded chaos scheduler that exercises all of it lives in
+:mod:`repro.faults.chaos`.
+"""
+
+from repro.fleet.health import FailoverController, HeartbeatMonitor
+from repro.fleet.hedging import HedgedReader, RetryBudget
+from repro.fleet.replicas import (
+    ROLE_PRIMARY,
+    ROLE_SECONDARY,
+    Replica,
+    ReplicaGroup,
+)
+
+__all__ = [
+    "FailoverController",
+    "HeartbeatMonitor",
+    "HedgedReader",
+    "Replica",
+    "ReplicaGroup",
+    "RetryBudget",
+    "ROLE_PRIMARY",
+    "ROLE_SECONDARY",
+]

@@ -9,6 +9,7 @@ the CAT allocation, and the blkio limits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.hardware.cache import LastLevelCache
 from repro.hardware.cgroups import BlkioLimits, CpuSet
@@ -53,9 +54,14 @@ class Machine:
 
     spec: MachineSpec = field(default_factory=MachineSpec)
     seed: int = 0
+    #: A fleet of machines can share one simulator so their events
+    #: interleave on a single clock (replica groups, chaos runs).  None —
+    #: the default, and the only mode single-machine experiments use —
+    #: keeps the historical behavior of one private simulator per machine.
+    shared_sim: Optional[Simulator] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
-        self.sim = Simulator()
+        self.sim = self.shared_sim if self.shared_sim is not None else Simulator()
         self.streams = RandomStreams(seed=self.seed)
         self.topology = CpuTopology(
             sockets=self.spec.sockets,

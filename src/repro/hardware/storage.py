@@ -47,6 +47,7 @@ class NvmeDevice:
         # factors and an optional transient write-error predicate.
         self._brownout_read_factor = 1.0
         self._brownout_write_factor = 1.0
+        self._brownout_latency_factor = 1.0
         self._write_error_predicate: Optional[Callable[[], bool]] = None
         self.write_faults_injected = 0
 
@@ -82,27 +83,35 @@ class NvmeDevice:
 
     # -- fault injection (see repro.faults) -------------------------------------
 
-    def apply_brownout(self, read_factor: float = 1.0, write_factor: float = 1.0) -> None:
+    def apply_brownout(self, read_factor: float = 1.0, write_factor: float = 1.0,
+                       latency_factor: float = 1.0) -> None:
         """Scale the *device* bandwidths by the given factors (a storage
         brownout).  cgroup caps are untouched; the effective rate is
-        still the minimum of the two layers."""
+        still the minimum of the two layers.  ``latency_factor``
+        multiplies the per-page seek latency of random reads — a
+        garbage-collection stall inflates individual operation latency,
+        not just streaming throughput."""
         for name, factor in (("read_factor", read_factor),
                              ("write_factor", write_factor)):
             if not 0 < factor <= 1.0:
                 raise FaultInjectionError(f"{name} must be in (0, 1]")
+        if latency_factor < 1.0:
+            raise FaultInjectionError("latency_factor must be >= 1")
         self._brownout_read_factor = read_factor
         self._brownout_write_factor = write_factor
+        self._brownout_latency_factor = latency_factor
         self._device_read.set_rate(self.device_read_bw * read_factor)
         self._device_write.set_rate(self.device_write_bw * write_factor)
 
     def clear_brownout(self) -> None:
-        """Restore the device's rated bandwidths."""
-        self.apply_brownout(1.0, 1.0)
+        """Restore the device's rated bandwidths and latency."""
+        self.apply_brownout(1.0, 1.0, 1.0)
 
     @property
     def browned_out(self) -> bool:
         return (self._brownout_read_factor < 1.0
-                or self._brownout_write_factor < 1.0)
+                or self._brownout_write_factor < 1.0
+                or self._brownout_latency_factor > 1.0)
 
     def set_write_error_predicate(
         self, predicate: Optional[Callable[[], bool]]
@@ -144,7 +153,8 @@ class NvmeDevice:
         """
         if num_pages <= 0:
             return None
-        yield Timeout(RANDOM_READ_LATENCY * num_pages)
+        yield Timeout(RANDOM_READ_LATENCY * num_pages
+                      * self._brownout_latency_factor)
         yield from self.read(num_pages * page_bytes)
         return None
 

@@ -151,3 +151,50 @@ class TestSummary:
         assert summary["router_policy"] == "rule-based"
         assert summary["router_decisions"]["columnstore-dss"] == 1
         assert summary["router_fallbacks"] == 0
+
+
+class TestSuspension:
+    """Fleet health signal: placements route around suspended backends
+    while alternatives exist; total suspension degrades, not refuses."""
+
+    def test_suspended_backend_is_rerouted_around(self):
+        router = routed().router
+        assert router.route(BIG_SCAN) == "columnstore-dss"
+        router.suspend_backend("columnstore-dss")
+        choice = router.route(BIG_SCAN)
+        assert choice != "columnstore-dss"
+        assert router.reroutes == 1
+
+    def test_restore_clears_the_suspension(self):
+        router = routed().router
+        router.suspend_backend("columnstore-dss")
+        router.route(BIG_SCAN)
+        router.restore_backend("columnstore-dss")
+        assert router.route(BIG_SCAN) == "columnstore-dss"
+        assert router.reroutes == 1  # only the suspended-era placement
+
+    def test_unaffected_placements_do_not_count_as_reroutes(self):
+        router = routed().router
+        router.suspend_backend("columnstore-dss")
+        assert router.route(POINT) == "rowstore-oltp"
+        assert router.reroutes == 0
+
+    def test_suspending_unknown_backend_rejected(self):
+        router = routed().router
+        with pytest.raises(ConfigurationError):
+            router.suspend_backend("no-such-backend")
+
+    def test_all_suspended_degrades_to_the_full_order(self):
+        router = routed().router
+        for name in FLEET:
+            router.suspend_backend(name)
+        # Degraded service beats refusing to place.
+        assert router.route(BIG_SCAN) == "columnstore-dss"
+
+    def test_summary_reports_suspensions_and_reroutes(self):
+        router = routed().router
+        router.suspend_backend("columnstore-dss")
+        router.route(BIG_SCAN)
+        summary = router.summary()
+        assert summary["router_suspended"] == ["columnstore-dss"]
+        assert summary["router_reroutes"] == 1

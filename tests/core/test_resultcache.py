@@ -272,3 +272,49 @@ class TestQuarantine:
         assert len(cache) == 1             # .corrupt-* not counted
         assert cache.clear() == 1          # ... and not cleared
         assert (tmp_path / f".corrupt-{path.name}").exists()
+
+
+class TestGetManyHardening:
+    """Satellite: a corrupt entry in a batch probe is a per-key miss —
+    the good hits in the same batch are unaffected."""
+
+    def test_mixed_batch_good_hits_survive_corrupt_neighbors(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        configs = [make_config(seed=s) for s in range(3)]
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        paths = [cache.put(c, measurement) for c in configs]
+        paths[1].write_bytes(b"torn write from a killed process")
+
+        results = cache.get_many(configs)
+        assert len(results) == 3
+        hits = {digest: hit for digest, hit in results}
+        assert results[0][1] is not None
+        assert results[1][1] is None       # corrupt: per-key miss
+        assert results[2][1] is not None
+        assert len(hits) == 3              # three distinct digests
+        # The damaged entry was quarantined, not left to fail again.
+        assert (tmp_path / f".corrupt-{paths[1].name}").exists()
+        assert cache.stats()["corrupt"] == 1
+
+    def test_wrong_type_entry_is_quarantined_in_batch(self, tmp_path):
+        """A checksum-valid pickle of the wrong type must not leak out
+        of the batch probe as a 'measurement'."""
+        cache = ResultCache(tmp_path)
+        config = make_config()
+        path = cache.put(config, run_experiment("asdb", 2000, duration=3.0))
+        payload = pickle.dumps({"not": "a measurement"})
+        header = hashlib.sha256(payload).hexdigest().encode("ascii")
+        path.write_bytes(header + b"\n" + payload)
+
+        [(digest, hit)] = cache.get_many([config])
+        assert hit is None
+        assert (tmp_path / f".corrupt-{path.name}").exists()
+
+    def test_batch_misses_then_heal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        configs = [make_config(seed=s) for s in range(2)]
+        assert all(hit is None for _, hit in cache.get_many(configs))
+        measurement = run_experiment("asdb", 2000, duration=3.0)
+        for config in configs:
+            cache.put(config, measurement)
+        assert all(hit is not None for _, hit in cache.get_many(configs))

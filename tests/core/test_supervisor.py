@@ -76,9 +76,11 @@ class TestCrashRetry:
         assert report.measurements[0] is not None
 
     def test_backoff_delays_the_retry(self):
+        # Jitter off: the un-jittered path must sleep the full ceiling.
         start = time.monotonic()
         run_supervised([cfg(faults=[WorkerCrash(attempts=2)])],
-                       policy=fast_policy(backoff=0.2, retries=2))
+                       policy=fast_policy(backoff=0.2, retries=2,
+                                          backoff_jitter=False))
         # Two failures: 0.2s + 0.4s backoff before the clean third attempt.
         assert time.monotonic() - start >= 0.6
 
@@ -235,3 +237,62 @@ def _explode_on_two(x):
     if x == 2:
         raise ValueError("kaboom")
     return x
+
+
+class TestBackoffJitter:
+    """Full jitter on crash-retry backoff (satellite: retry storms)."""
+
+    def supervisor(self, **policy_overrides):
+        from repro.core.runner import _Supervisor
+
+        policy = fast_policy(backoff=1.0, backoff_factor=2.0,
+                             **policy_overrides)
+        return _Supervisor([], jobs=1, cache=None, policy=policy,
+                           journal=None)
+
+    def item(self, digest="d" * 8, failures=1):
+        from repro.core.runner import _Item
+
+        return _Item(index=0, config=cfg(), digest=digest,
+                     base_attempts=0, failures=failures)
+
+    def test_jitter_stays_under_the_exponential_ceiling(self):
+        sup = self.supervisor()
+        for failures in (1, 2, 3, 4):
+            item = self.item(failures=failures)
+            ceiling = sup.policy.retry_delay(failures)
+            for _ in range(20):
+                delay = sup._backoff_delay(item)
+                assert 0.0 <= delay <= ceiling
+
+    def test_jitter_off_sleeps_the_full_ceiling(self):
+        sup = self.supervisor(backoff_jitter=False)
+        item = self.item(failures=2)
+        assert sup._backoff_delay(item) == sup.policy.retry_delay(2)
+
+    def test_same_seed_and_digest_redraw_the_same_schedule(self):
+        sup_a, sup_b = self.supervisor(), self.supervisor()
+        draws_a = [sup_a._backoff_delay(self.item()) for _ in range(5)]
+        draws_b = [sup_b._backoff_delay(self.item()) for _ in range(5)]
+        assert draws_a == draws_b
+        # Successive draws advance — this is a schedule, not a constant.
+        assert len(set(draws_a)) > 1
+
+    def test_different_digests_decorrelate(self):
+        sup = self.supervisor()
+        a = [sup._backoff_delay(self.item(digest="a" * 8)) for _ in range(5)]
+        b = [sup._backoff_delay(self.item(digest="b" * 8)) for _ in range(5)]
+        assert a != b
+
+    def test_different_jitter_seeds_decorrelate(self):
+        a = [self.supervisor(jitter_seed=1)._backoff_delay(self.item())
+             for _ in range(3)]
+        b = [self.supervisor(jitter_seed=2)._backoff_delay(self.item())
+             for _ in range(3)]
+        assert a != b
+
+    def test_retry_delay_itself_is_unchanged_by_jitter(self):
+        policy = SupervisionPolicy(backoff=1.0, backoff_factor=2.0,
+                                   max_backoff=5.0, backoff_jitter=True)
+        assert [policy.retry_delay(n) for n in (1, 2, 3, 4)] == [
+            1.0, 2.0, 4.0, 5.0]

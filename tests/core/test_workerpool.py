@@ -109,3 +109,40 @@ class TestStats:
         assert after["created"] == before["created"] + 1
         assert after["reused"] == before["reused"] + 1
         assert after["retired"] == before["retired"] + 1
+
+
+class TestIdempotentRetire:
+    """Satellite: retire(kill=True) against already-dead or
+    already-retired workers is a counted-once no-op."""
+
+    def test_double_retire_counts_once(self):
+        pool = workerpool.acquire(1)
+        before = workerpool.pool_stats()["retired"]
+        workerpool.retire(pool, kill=True)
+        workerpool.retire(pool, kill=True)
+        workerpool.retire(pool)
+        assert workerpool.pool_stats()["retired"] == before + 1
+        assert workerpool.active_pools() == {}
+
+    def test_retire_after_external_worker_death(self):
+        """A chaos fault (or the OS) killed the workers first; the
+        atexit/supervisor retire must still be a clean no-op path."""
+        pool = workerpool.acquire(1)
+        pool.submit(os.getpid).result(timeout=60)
+        workerpool.kill_workers(pool.executor)
+        workerpool.retire(pool, kill=True)   # kill of dead processes
+        workerpool.retire(pool, kill=True)   # and again, post-retire
+        assert pool.retired
+        assert workerpool.active_pools() == {}
+        fresh = workerpool.acquire(1)
+        assert fresh is not pool
+        assert fresh.submit(_square, 4).result(timeout=60) == 16
+
+    def test_retired_flag_survives_registry_replacement(self):
+        first = workerpool.acquire(1)
+        workerpool.retire(first)
+        second = workerpool.acquire(1)
+        before = workerpool.pool_stats()["retired"]
+        workerpool.retire(first, kill=True)  # stale + already retired
+        assert workerpool.pool_stats()["retired"] == before
+        assert workerpool.active_pools() == {1: second}

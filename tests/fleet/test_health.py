@@ -1,0 +1,196 @@
+"""Failure detection and automatic failover: heartbeats, suspicion,
+promotion bounds, fencing."""
+
+from collections import deque
+
+import pytest
+
+from repro.engine.statistics import dm_fleet_replicas
+from repro.engine.wal import WalRecord
+from repro.errors import FaultInjectionError
+from repro.fleet.health import FailoverController, HeartbeatMonitor
+
+from tests.fleet.conftest import WRITE_BYTES, build_fleet, run_writes
+
+
+def monitored_fleet(replicas=3, **monitor_kwargs):
+    sim, group = build_fleet(replicas=replicas)
+    monitor = HeartbeatMonitor(group, **monitor_kwargs)
+    controller = FailoverController(group, monitor)
+    monitor.install()
+    controller.install()
+    return sim, group, monitor, controller
+
+
+class TestMonitorValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(interval=0.0),
+        dict(phi_threshold=1.0),
+        dict(window=1),
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        _, group = build_fleet(replicas=2)
+        with pytest.raises(FaultInjectionError):
+            HeartbeatMonitor(group, **kwargs)
+
+
+class TestHeartbeats:
+    def test_healthy_replicas_beat_and_stay_unsuspected(self):
+        sim, group, monitor, _ = monitored_fleet()
+        sim.run(until=1.0)
+        for replica in group.replicas:
+            assert monitor.beats[replica.index] >= 10
+            assert monitor.suspicion(replica.index) < monitor.phi_threshold
+            assert not monitor.suspected(replica.index)
+
+    def test_downed_replica_stops_beating(self):
+        sim, group, monitor, _ = monitored_fleet()
+        sim.run(until=0.5)
+        victim = group.replicas[2]
+        victim.crash()
+        before = monitor.beats[victim.index]
+        sim.run(until=1.5)
+        assert monitor.beats[victim.index] == before
+        assert monitor.suspected(victim.index)
+
+    def test_partitioned_replica_stops_beating(self):
+        sim, group, monitor, _ = monitored_fleet()
+        sim.run(until=0.5)
+        victim = group.replicas[1]
+        victim.partitioned = True
+        before = monitor.beats[victim.index]
+        sim.run(until=1.5)
+        assert monitor.beats[victim.index] == before
+        assert monitor.suspected(victim.index)
+
+
+class TestSuspicionScore:
+    def test_typical_gap_is_the_median_not_the_mean(self):
+        _, group = build_fleet(replicas=2)
+        monitor = HeartbeatMonitor(group, interval=0.02)
+        # A past outage leaves one 5-second gap in the window; the
+        # detector's baseline must stay at the steady-state gap so the
+        # *next* outage is still detected inside its budget.
+        monitor._gaps[0] = deque([0.02] * 9 + [5.0], maxlen=16)
+        assert monitor.typical_gap(0) == pytest.approx(0.02)
+
+    def test_no_gaps_defaults_to_the_interval(self):
+        _, group = build_fleet(replicas=2)
+        monitor = HeartbeatMonitor(group, interval=0.05)
+        assert monitor.typical_gap(0) == 0.05
+
+    def test_detection_bound_scales_with_threshold_and_interval(self):
+        _, group = build_fleet(replicas=2)
+        monitor = HeartbeatMonitor(group, interval=0.02, phi_threshold=4.0)
+        assert monitor.detection_bound() == pytest.approx(4.0 * 0.02 * 2.0)
+
+
+class TestServiceSlowdown:
+    def test_slow_replica_is_suspected_while_still_beating(self):
+        sim, group, monitor, _ = monitored_fleet()
+        sim.run(until=0.5)
+        for _ in range(8):
+            monitor.note_service_time(0, 0.1)    # 100 ms per read
+            monitor.note_service_time(1, 0.003)  # 3 ms per read
+        assert monitor.service_slowdown(0) >= monitor.slow_ratio
+        assert monitor.suspected(0)
+        assert not monitor.suspected(1)
+
+    def test_no_samples_means_at_par(self):
+        _, group = build_fleet(replicas=2)
+        monitor = HeartbeatMonitor(group)
+        assert monitor.service_slowdown(0) == 1.0
+
+    def test_no_peer_samples_means_at_par(self):
+        _, group = build_fleet(replicas=2)
+        monitor = HeartbeatMonitor(group)
+        monitor.note_service_time(0, 0.5)
+        assert monitor.service_slowdown(0) == 1.0
+
+
+class TestFailover:
+    def test_crashed_primary_is_replaced_within_the_budget(self):
+        sim, group, monitor, controller = monitored_fleet()
+        run_writes(sim, group, 5, until=0.5)
+        old = group.primary
+        group.note_primary_down()
+        old.crash()
+        sim.run(until=2.0)
+        assert controller.promotions == 1
+        assert group.primary is not old
+        assert group.epoch == 1
+        window = group.failovers[0]["at"] - group.failovers[0]["failed_at"]
+        assert 0.0 <= window <= controller.availability_bound()
+
+    def test_writes_resume_after_automatic_failover(self):
+        sim, group, monitor, controller = monitored_fleet()
+        run_writes(sim, group, 3, until=0.5)
+        group.primary.crash()
+        records = run_writes(sim, group, 4, until=2.5, start_txn=50)
+        assert len(records) == 4
+        assert group.audit_durability()["lost"] == []
+
+    def test_promotion_prefers_the_longest_durable_log(self):
+        sim, group, monitor, controller = monitored_fleet()
+        run_writes(sim, group, 3, until=0.5)
+        # Give replica 2 a longer durable prefix than replica 1.
+        lagging, ahead = group.replicas[1], group.replicas[2]
+        extra = WalRecord(lsn=ahead.durable_lsn + 1,
+                          nbytes=WRITE_BYTES, txn_id=-1)
+
+        def lengthen():
+            yield from ahead.wal.apply_shipped([extra])
+
+        sim.spawn(lengthen(), name="lengthen")
+        sim.run(until=0.6)
+        assert ahead.durable_lsn > lagging.durable_lsn
+        group.primary.crash()
+        sim.run(until=2.0)
+        assert group.primary is ahead
+
+    def test_ties_break_by_configuration_order(self):
+        sim, group, monitor, controller = monitored_fleet()
+        sim.run(until=0.5)  # no writes: all durable LSNs equal
+        group.primary.crash()
+        sim.run(until=2.0)
+        assert group.primary is group.replicas[1]
+
+    def test_old_primary_is_fenced_before_promotion(self):
+        sim, group, monitor, controller = monitored_fleet()
+        old = group.primary
+        sim.run(until=0.5)
+        old.crash()
+        sim.run(until=2.0)
+        assert old.fenced
+        assert old.role != "primary"
+
+    def test_no_eligible_candidate_means_no_promotion(self):
+        sim, group, monitor, controller = monitored_fleet()
+        sim.run(until=0.5)
+        for replica in group.replicas[1:]:
+            replica.crash()
+        group.primary.crash()
+        sim.run(until=2.0)
+        assert controller.promotions == 0
+        assert group.epoch == 0
+
+    def test_availability_bound_composition(self):
+        _, group, monitor, controller = monitored_fleet()
+        assert controller.availability_bound() == pytest.approx(
+            monitor.detection_bound() + controller.check_interval
+            + controller.promotion_pause
+        )
+
+
+class TestHealthDmv:
+    def test_dmv_reports_suspicion_with_a_monitor(self):
+        sim, group, monitor, _ = monitored_fleet()
+        sim.run(until=0.5)
+        victim = group.replicas[2]
+        victim.crash()
+        sim.run(until=1.5)
+        rows = dm_fleet_replicas(group, monitor)
+        by_index = {row.replica: row for row in rows}
+        assert by_index[2].suspected
+        assert by_index[2].suspicion > by_index[0].suspicion
+        assert not by_index[0].suspected

@@ -188,3 +188,34 @@ def test_route_fig2_compares_backends(capsys):
     for label in ("rowstore-oltp", "columnstore-dss",
                   "elastic-serverless", "router:rule-based"):
         assert label in out
+
+
+def test_chaos_quiescent_run_checks_determinism(capsys):
+    code = main(["chaos", "--seed", "11", "--scenario", "none",
+                 "--duration", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos-schedule: seed=11 scenario=none" in out
+    assert "invariant durability: ok" in out
+    assert "invariant determinism: ok" in out
+    assert "chaos-complete: seed=11 ok=True" in out
+
+
+def test_chaos_failover_scenario_passes_gates(capsys, tmp_path):
+    journal = tmp_path / "chaos.jsonl"
+    code = main(["chaos", "--seed", "1", "--scenario", "failover",
+                 "--duration", "2", "--journal", str(journal)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "invariant durability: ok" in out
+    assert "invariant availability: ok" in out
+    assert "chaos-complete:" in out
+    assert journal.exists()
+    text = journal.read_text()
+    assert '"chaos-schedule"' in text
+    assert '"chaos-report"' in text
+
+
+def test_chaos_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--scenario", "meteor"])

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import (
     AllocationError,
+    ChaosInvariantError,
     ConfigurationError,
     ExperimentTimeout,
     FaultInjectionError,
@@ -21,6 +22,7 @@ from repro.errors import (
 #: Every public exception the library raises, leaf and intermediate.
 ALL_ERRORS = (
     AllocationError,
+    ChaosInvariantError,
     ConfigurationError,
     ExperimentTimeout,
     FaultInjectionError,
