@@ -13,8 +13,11 @@ document (written to ``BENCH_sim_kernel.json`` at the repo root):
   benches do) via per-call Python ``sum`` walks vs the memoized-array
   path in :class:`CounterSeries`.  Must be >= 2x;
 * ``events`` — :meth:`EventLoop.schedule_batch` vs one
-  :meth:`schedule_at` call per event, drain order asserted identical,
-  plus a mass-cancellation drain exercising lazy-deletion compaction;
+  :meth:`schedule_at` call per event (scheduling phase only — the drain
+  costs the same either way and would drown the comparison in noise),
+  drain order asserted identical untimed, plus a mass-cancellation drain
+  exercising lazy-deletion compaction.  Batching must be >= 1.0x or the
+  path has regressed;
 * ``fig2_mini`` — a short serial ASDB core sweep timed end to end
   (``points_per_second`` is the number the perf-smoke regression check
   tracks across commits).
@@ -23,6 +26,7 @@ Thresholds live in :func:`check_report`; ``benchmarks/check_perf_smoke.py``
 re-applies them in CI against the committed baseline.
 """
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -59,11 +63,25 @@ EVENT_COUNT = 30_000
 
 
 def _best_of(repeats, fn):
+    """Best-of-N wall time with the cyclic GC paused during each run.
+
+    The microbenches allocate hundreds of thousands of small objects per
+    run; generational collections triggered mid-run add superlinear,
+    scheduling-dependent noise that once made the event-batch comparison
+    a coin flip.  Collection cost is paid (and measured) by neither side.
+    """
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            gc.collect()
     return best
 
 
@@ -139,32 +157,48 @@ def _event_times():
 
 
 def bench_events():
-    """Batch scheduling vs one schedule_at per event, plus compaction."""
+    """Batch scheduling vs one schedule_at per event, plus compaction.
+
+    The timed section is the *scheduling* phase only: draining the heap
+    costs the same either way (and dwarfs scheduling), so folding it into
+    the timings reduced the batch comparison to coin-flip noise — which
+    is how a real batching regression once hid behind a "0.95x, close
+    enough" reading.  Drain-order equivalence is asserted separately,
+    untimed.
+    """
     times = _event_times()
 
-    def one_by_one():
+    def _noop(ev):
+        return None
+
+    def one_by_one(callback=_noop):
         loop = EventLoop()
-        fired = []
         for i, t in enumerate(times):
-            loop.schedule_at(t, lambda ev, i=i: fired.append(i))
-        while loop.step():
-            pass
-        return fired
+            loop.schedule_at(t, callback, i)
+        return loop
 
-    def batched():
+    def batched(callback=_noop):
         loop = EventLoop()
+        loop.schedule_batch((t, callback, i) for i, t in enumerate(times))
+        return loop
+
+    loop_seconds = _best_of(5, one_by_one)
+    batch_seconds = _best_of(5, batched)
+
+    def drain_order(loop):
         fired = []
-        loop.schedule_batch(
-            (t, lambda ev, i=i: fired.append(i), None)
-            for i, t in enumerate(times)
-        )
         while loop.step():
             pass
         return fired
 
-    loop_seconds = _best_of(3, one_by_one)
-    batch_seconds = _best_of(3, batched)
-    assert one_by_one() == batched(), "batch scheduling changed drain order"
+    def record_into(fired):
+        return lambda ev: fired.append(ev.payload)
+
+    serial_order: list = []
+    batch_order: list = []
+    drain_order(one_by_one(record_into(serial_order)))
+    drain_order(batched(record_into(batch_order)))
+    assert serial_order == batch_order, "batch scheduling changed drain order"
 
     # Mass cancellation: resource waiters cancel wakeups constantly; the
     # heap must compact instead of carrying the corpses to the end.
@@ -229,9 +263,9 @@ def check_report(report):
     )
     events = report["events"]
     assert events["compactions"] >= 1, "mass cancellation never compacted"
-    assert events["batch_speedup"] >= 0.8, (
+    assert events["batch_speedup"] >= 1.0, (
         f"schedule_batch slower than per-event scheduling "
-        f"({events['batch_speedup']}x)"
+        f"({events['batch_speedup']}x) — batching must win or be removed"
     )
 
 

@@ -1,0 +1,214 @@
+"""What-if serving bench: adaptive sweeps and interactive answer latency.
+
+Measures the three perf claims of the surrogate subsystem and emits one
+JSON document (written to ``BENCH_whatif.json`` at the repo root):
+
+* ``corpus`` — harvest + closed-form fit over a seeded training grid,
+  with the model's leave-one-out Q-error report (``max(pred/actual,
+  actual/pred)``, so 1.0 is perfect);
+* ``adaptive`` — a target grid swept exhaustively (ground truth) and
+  then adaptively with the surrogate (anchors + MRC-knee points +
+  high-uncertainty points simulated, the rest predicted).  Reports the
+  wall-clock ``speedup`` — including the planner's own prediction
+  overhead — and the Q-error of every *predicted* point against the
+  exhaustive truth at the same grid index;
+* ``serve`` — a :class:`~repro.surrogate.serve.WhatIfServer` answering a
+  mixed query stream (exact cached points plus off-grid what-ifs), with
+  per-source p50/p99 latency in milliseconds.  The interactive claim is
+  gated on cache/surrogate answers only; simulation fallbacks are
+  counted but excluded (they are the slow path by design).
+
+Thresholds live in :func:`check_report`; ``check_perf_smoke.py --whatif``
+re-applies them in CI.
+"""
+
+import json
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.core.resultcache import ResultCache
+from repro.core.runner import run_supervised
+from repro.core.sweeps import run_sweep
+from repro.surrogate import SurrogateModel, WhatIfServer, harvest, q_error
+from repro.surrogate.planner import run_adaptive_sweep
+
+try:
+    from benchmarks.bench_runner_scaling import effective_cores
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from bench_runner_scaling import effective_cores
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Training grid (cached, harvested, fitted).
+TRAIN_CORES = (1, 2, 4, 8, 16, 32)
+TRAIN_LLC_MB = (2, 8, 16, 24, 32, 40)
+
+#: Target grid for the adaptive-vs-exhaustive comparison: off the
+#: training lattice on both axes, so predictions interpolate rather
+#: than replay memorized points.
+TARGET_CORES = (2, 8, 16)
+TARGET_LLC_MB = (4, 12, 20, 36)
+
+#: Simulated seconds per grid point (wall cost scales with this).
+DURATION = 1.0
+
+#: Serve-phase passes over the mixed query stream.
+SERVE_PASSES = 5
+
+
+def _config(cores, llc_mb):
+    return ExperimentConfig(
+        workload="asdb", scale_factor=2000,
+        allocation=ResourceAllocation(logical_cores=cores, llc_mb=llc_mb),
+        duration=DURATION, seed=0,
+    )
+
+
+def _grid(cores_axis, llc_axis):
+    return [_config(c, l) for c in cores_axis for l in llc_axis]
+
+
+def _percentile_ms(latencies, fraction):
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return round(ordered[index] * 1000.0, 3)
+
+
+def build_corpus(cache):
+    """Seed the training grid into *cache*, harvest, fit, evaluate."""
+    start = time.perf_counter()
+    run_supervised(_grid(TRAIN_CORES, TRAIN_LLC_MB), cache=cache)
+    seed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    corpus = harvest(cache)
+    model = SurrogateModel().fit(corpus)
+    fit_seconds = time.perf_counter() - start
+    loo = model.q_error_report(corpus)
+    return model, {
+        "entries": len(corpus),
+        "harvest_stats": corpus.stats.summary(),
+        "seed_sweep_seconds": round(seed_seconds, 3),
+        "harvest_and_fit_seconds": round(fit_seconds, 4),
+        "loo_q_error_overall": {k: round(v, 4)
+                                for k, v in loo["overall"].items()},
+        "loo_q_error_primary": {k: round(v, 4)
+                                for k, v in loo["primary_metric"].items()},
+    }
+
+
+def bench_adaptive(model):
+    """Exhaustive vs surrogate-guided sweep of the same target grid.
+
+    Both runs get their own empty cache so neither inherits the other's
+    (or the training phase's) entries: the timing compares a cold
+    exhaustive sweep against a cold adaptive one, and the exhaustive
+    results double as ground truth for the predicted points' Q-error.
+    """
+    grid = _grid(TARGET_CORES, TARGET_LLC_MB)
+
+    exhaustive_cache = ResultCache(tempfile.mkdtemp(prefix="whatif-exh-"))
+    start = time.perf_counter()
+    truth = run_sweep(grid, cache=exhaustive_cache)
+    exhaustive_seconds = time.perf_counter() - start
+
+    adaptive_cache = ResultCache(tempfile.mkdtemp(prefix="whatif-ada-"))
+    start = time.perf_counter()
+    result = run_adaptive_sweep(grid, model, cache=adaptive_cache)
+    adaptive_seconds = time.perf_counter() - start
+
+    errors = sorted(
+        q_error(result.measurements[i].primary_metric,
+                truth[i].primary_metric)
+        for i in result.plan.predict
+    )
+    return {
+        "grid_points": len(grid),
+        "simulated_points": len(result.plan.simulate),
+        "predicted_points": len(result.plan.predict),
+        "plan": result.plan.summary(),
+        "exhaustive_seconds": round(exhaustive_seconds, 3),
+        "adaptive_seconds": round(adaptive_seconds, 3),
+        "speedup": round(exhaustive_seconds / adaptive_seconds, 2),
+        "predicted_q_error_median": round(statistics.median(errors), 4),
+        "predicted_q_error_max": round(max(errors), 4),
+    }
+
+
+def bench_serve(model, cache):
+    """Latency of the what-if answer path over a mixed query stream."""
+    cached_queries = _grid(TRAIN_CORES[::2], TRAIN_LLC_MB[::2])
+    whatif_queries = _grid((2, 8), (12, 20, 36))
+    server = WhatIfServer(model=model, cache=cache)
+    for _ in range(SERVE_PASSES):
+        server.answer_many(cached_queries + whatif_queries)
+    interactive = (server.stats.latencies.get("cache", [])
+                   + server.stats.latencies.get("surrogate", []))
+    return {
+        "queries": SERVE_PASSES * (len(cached_queries) + len(whatif_queries)),
+        "sources": server.stats.summary(),
+        "interactive_answers": len(interactive),
+        "p50_ms": _percentile_ms(interactive, 0.50),
+        "p99_ms": _percentile_ms(interactive, 0.99),
+        "simulated_fallbacks": server.stats.simulated,
+    }
+
+
+def run_whatif_study():
+    cache = ResultCache(tempfile.mkdtemp(prefix="whatif-train-"))
+    model, corpus_report = build_corpus(cache)
+    return {
+        "bench": "whatif",
+        "effective_cores": effective_cores(),
+        "corpus": corpus_report,
+        "adaptive": bench_adaptive(model),
+        "serve": bench_serve(model, cache),
+    }
+
+
+def check_report(report):
+    """Acceptance bars for the what-if subsystem (the PR's perf claim)."""
+    adaptive = report["adaptive"]
+    assert adaptive["speedup"] >= 1.5, (
+        f"adaptive sweep only {adaptive['speedup']}x faster than "
+        f"exhaustive (floor 1.5x)"
+    )
+    assert adaptive["predicted_q_error_median"] <= 1.15, (
+        f"predicted points' median Q-error "
+        f"{adaptive['predicted_q_error_median']} exceeds 1.15"
+    )
+    corpus = report["corpus"]
+    assert corpus["loo_q_error_overall"]["median"] <= 1.15, (
+        f"leave-one-out median Q-error "
+        f"{corpus['loo_q_error_overall']['median']} exceeds 1.15"
+    )
+    serve = report["serve"]
+    assert serve["interactive_answers"] > 0, "no cache/surrogate answers"
+    assert serve["p99_ms"] < 50.0, (
+        f"interactive answer p99 {serve['p99_ms']}ms exceeds 50ms"
+    )
+
+
+def test_whatif(benchmark, emit, duration_scale):
+    report = benchmark.pedantic(run_whatif_study, rounds=1, iterations=1)
+    check_report(report)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    (_REPO_ROOT / "BENCH_whatif.json").write_text(payload + "\n")
+    emit("What-if serving — surrogate accuracy / adaptive speedup / latency",
+         payload)
+
+
+def main():
+    report = run_whatif_study()
+    check_report(report)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    (_REPO_ROOT / "BENCH_whatif.json").write_text(payload + "\n")
+    print(payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,10 +30,11 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 try:
-    from benchmarks import bench_runner_scaling, bench_sim_kernel
+    from benchmarks import bench_runner_scaling, bench_sim_kernel, bench_whatif
 except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
     import bench_runner_scaling
     import bench_sim_kernel
+    import bench_whatif
 
 
 def check_regression(fresh, baseline_path, allowed):
@@ -68,6 +69,12 @@ def main(argv=None):
         help="committed BENCH_sim_kernel.json to diff points_per_second "
         "against (omit to skip the cross-commit regression check)",
     )
+    parser.add_argument(
+        "--whatif", nargs="?", const=_REPO_ROOT / "BENCH_whatif.json",
+        default=None, metavar="PATH",
+        help="also gate a fresh BENCH_whatif.json (adaptive speedup, "
+        "Q-error, serve latency); omit to skip",
+    )
     args = parser.parse_args(argv)
 
     scaling = json.loads(Path(args.scaling).read_text())
@@ -78,6 +85,18 @@ def main(argv=None):
           f"{scaling['dispatch_overhead_fraction']:.1%} "
           f"(limit {bench_runner_scaling.DISPATCH_OVERHEAD_LIMIT:.0%}), "
           f"warm cache {scaling['warm_speedup']}x")
+    # An honest verdict either way: a single-core runner cannot validate
+    # parallel speedups, and pretending it checked them is worse than
+    # saying it skipped them.
+    cores = scaling["effective_cores"]
+    if scaling["parallel_claims_valid"]:
+        best = max(scaling["speedup"].values())
+        print(f"perf-smoke: parallel_claims_valid=true "
+              f"(effective_cores={cores}); best parallel speedup {best}x")
+    else:
+        print(f"perf-smoke: parallel_claims_valid=false "
+              f"(effective_cores={cores}); SKIPPED parallel-scaling "
+              f"assertions — not silently passed")
     bench_sim_kernel.check_report(kernel)
     print(f"perf-smoke: MRC {kernel['mrc']['speedup']}x, "
           f"counter rollup {kernel['counter_rollup']['speedup']}x, "
@@ -86,6 +105,14 @@ def main(argv=None):
     if args.baseline_kernel:
         allowed = float(os.environ.get("PERF_SMOKE_ALLOWED_REGRESSION", "0.8"))
         check_regression(kernel, args.baseline_kernel, allowed)
+    if args.whatif:
+        whatif = json.loads(Path(args.whatif).read_text())
+        bench_whatif.check_report(whatif)
+        print(f"perf-smoke: whatif adaptive {whatif['adaptive']['speedup']}x "
+              f"(floor 1.5x), predicted q-error "
+              f"{whatif['adaptive']['predicted_q_error_median']} "
+              f"(ceiling 1.15), serve p99 {whatif['serve']['p99_ms']}ms "
+              f"(limit 50ms)")
     print("perf-smoke: OK")
     return 0
 

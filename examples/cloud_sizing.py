@@ -1,37 +1,67 @@
 #!/usr/bin/env python3
 """Cloud SLO sizing from the nonlinear bandwidth response (the Fig 5 use
-case).
+case), served interactively through the what-if API.
 
 A DBaaS provider prices storage-bandwidth tiers.  A linear performance
 model says: to reach a target QPS, buy bandwidth proportional to it.  The
 paper shows the real response curve is concave, so the linear model
 overbuys — here by the same ~20% the paper reports.
 
-This example sweeps cgroup read-bandwidth caps for TPC-H at SF=300,
-fits the naive linear model, and picks the cheapest tier meeting the
-target QPS from the measured curve.
+The original version of this example ran one full simulation per tier
+per question.  This version sizes the same SLO through a
+:class:`~repro.surrogate.serve.WhatIfServer`: a coarse seed sweep fills
+the result cache, a surrogate trains on it, and every subsequent sizing
+question is answered from cache-or-surrogate at interactive latency —
+with simulation as the fallback of record, and every answer labelled
+with its provenance.
 """
 
-from repro.core import ResourceAllocation, run_experiment
+import tempfile
+
+from repro.core import ResourceAllocation
 from repro.core.analysis import linear_response_comparison
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import format_series, format_table
+from repro.core.resultcache import ResultCache
+from repro.core.runner import run_supervised
+from repro.surrogate import SurrogateModel, WhatIfServer, harvest
 from repro.units import mb_per_s
 
 #: Bandwidth tiers on offer (MB/s) and monthly prices (made-up units).
 TIERS = [(200, 10), (400, 19), (600, 27), (800, 34), (1200, 48), (2500, 90)]
 
+#: Tiers simulated up front to seed the corpus; the rest are what-ifs.
+SEED_TIERS = (200, 600, 2500)
+
+DURATION = 2500.0
+
+
+def tier_config(limit_mb: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        workload="tpch", scale_factor=300,
+        allocation=ResourceAllocation(read_bw_limit=mb_per_s(limit_mb)),
+        duration=DURATION,
+    )
+
 
 def main() -> None:
-    print("Sweeping read-bandwidth caps for TPC-H SF=300 (3 streams)...")
+    cache = ResultCache(tempfile.mkdtemp(prefix="cloud-sizing-"))
+
+    print(f"Seeding the corpus: simulating {len(SEED_TIERS)} of "
+          f"{len(TIERS)} tiers (TPC-H SF=300, 3 streams)...")
+    run_supervised([tier_config(limit) for limit in SEED_TIERS], cache=cache)
+
+    model = SurrogateModel().fit(harvest(cache))
+    server = WhatIfServer(model=model, cache=cache)
+
+    print("Answering every tier through the what-if server:")
+    answers = server.answer_many([tier_config(t[0]) for t in TIERS])
+    for answer in answers:
+        print("  " + answer.describe())
+    print(f"  sources: {server.stats.summary()}")
+
     limits = [t[0] for t in TIERS]
-    qps = []
-    for limit, _price in TIERS:
-        m = run_experiment(
-            "tpch", 300,
-            allocation=ResourceAllocation(read_bw_limit=mb_per_s(limit)),
-            duration=2500.0,
-        )
-        qps.append(m.primary_metric)
+    qps = [answer.primary_metric for answer in answers]
     print(format_series("limit_MB/s", limits, {"QPS": qps}))
 
     comparison = linear_response_comparison(limits, qps, probe_fraction=0.95)

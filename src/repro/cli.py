@@ -17,6 +17,10 @@ Usage::
     python -m repro backends
     python -m repro figure table2
     python -m repro figure fig7
+    python -m repro corpus export --cache-dir ~/.cache/repro -o corpus.jsonl
+    python -m repro corpus train --cache-dir ~/.cache/repro --model-out m.json
+    python -m repro sweep llc asdb 2000 --adaptive --cache-dir ~/.cache/repro
+    python -m repro whatif asdb 2000 --cores 4,8 --llc-mb 8 --cache-dir DIR
     python -m repro list
 
 ``--jobs N`` fans independent experiments over N worker processes
@@ -58,6 +62,20 @@ def _job_count(text: str) -> int:
     return value
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """The result-cache knobs (also used alone by corpus/whatif)."""
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory for the content-addressed result cache "
+        "(default: $REPRO_CACHE_DIR if set, else caching is off)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir or "
+        "$REPRO_CACHE_DIR is set",
+    )
+
+
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     """The runner knobs shared by every multi-experiment command."""
     parser.add_argument(
@@ -71,16 +89,7 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "auto, about four chunks per job; ignored at --jobs 1 and with "
         "--timeout; never changes results)",
     )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="directory for the content-addressed result cache "
-        "(default: $REPRO_CACHE_DIR if set, else caching is off)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the result cache even if --cache-dir or "
-        "$REPRO_CACHE_DIR is set",
-    )
+    _add_cache_options(parser)
 
 
 def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
@@ -204,6 +213,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
     sweep.add_argument("scale_factor", type=int)
     sweep.add_argument("--duration-scale", type=float, default=0.5)
+    sweep.add_argument(
+        "--adaptive", action="store_true",
+        help="surrogate-guided sweep: simulate only anchor, knee-adjacent "
+        "and high-uncertainty grid points; backfill the rest from the "
+        "surrogate with source=predicted provenance (needs --model or a "
+        "cache with at least 2 harvestable entries to train from)",
+    )
+    sweep.add_argument(
+        "--model", default=None, metavar="PATH",
+        help="serialized surrogate model for --adaptive (default: train "
+        "one from the result cache)",
+    )
+    sweep.add_argument(
+        "--budget-fraction", type=float, default=0.4, metavar="F",
+        help="fraction of the grid --adaptive may simulate (default: 0.4)",
+    )
     _add_backend_options(sweep)
     _add_runner_options(sweep)
     _add_supervision_options(sweep)
@@ -346,6 +371,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "backends", help="list engine personalities and their profiles"
     )
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="harvest a surrogate training corpus from the result cache",
+        description="Walks the content-addressed result cache, turning "
+        "each simulated entry into a (features -> metrics) training pair "
+        "('export' writes them as JSON-lines; 'train' fits the ridge+kNN "
+        "surrogate and prints its leave-one-out Q-error report).  Faulted "
+        "and predicted entries are skipped; quarantined .corrupt-* files "
+        "are counted, not fatal.",
+    )
+    corpus.add_argument("action", choices=("export", "train"))
+    corpus.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="corpus JSONL destination for 'export' "
+                        "(default: corpus.jsonl)")
+    corpus.add_argument("--model-out", default=None, metavar="PATH",
+                        help="also serialize the fitted model ('train')")
+    corpus.add_argument("--include-faulted", action="store_true",
+                        help="keep fault-injected entries (excluded by "
+                        "default: they measure recovery, not response)")
+    _add_cache_options(corpus)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="answer sizing queries from surrogate-or-cache interactively",
+        description="Answers 'what would throughput be at these knobs?' "
+        "without a sweep: cache hit if the exact config was measured, "
+        "surrogate prediction when the model is confident, simulation "
+        "fallback otherwise.  --cores/--llc-mb accept comma lists; the "
+        "cross product is answered concurrently through the async API.",
+    )
+    whatif.add_argument("workload", choices=sorted(WORKLOADS))
+    whatif.add_argument("scale_factor", type=int)
+    whatif.add_argument("--cores", default="32", metavar="C1,C2,...")
+    whatif.add_argument("--llc-mb", default="40", metavar="M1,M2,...")
+    whatif.add_argument("--maxdop", type=int, default=None)
+    whatif.add_argument("--grant-percent", type=float, default=25.0)
+    whatif.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (default: per-workload)")
+    whatif.add_argument("--seed", type=int, default=0)
+    whatif.add_argument("--model", default=None, metavar="PATH",
+                        help="serialized surrogate model (default: train "
+                        "from the result cache when possible)")
+    whatif.add_argument("--uncertainty-threshold", type=float, default=0.35,
+                        metavar="U",
+                        help="surrogate answers above this uncertainty "
+                        "fall through to simulation (default: 0.35)")
+    whatif.add_argument("--no-simulation", action="store_true",
+                        help="refuse rather than simulate when neither "
+                        "cache nor surrogate can answer")
+    _add_cache_options(whatif)
+
     figure = sub.add_parser("figure", help="regenerate a paper artifact")
     figure.add_argument(
         "name",
@@ -435,6 +511,35 @@ def _cmd_sweep(args) -> int:
         x_label = "llc_mb"
     cache = _resolve_cache(args)
     policy = _resolve_policy(args)
+    if args.adaptive:
+        from repro.surrogate import run_adaptive_sweep
+
+        model = _resolve_surrogate_model(args, cache)
+        if model is None:
+            print("sweep --adaptive: no surrogate available (pass --model, "
+                  "or --cache-dir with at least 2 harvestable entries)",
+                  file=sys.stderr)
+            return 2
+        result = run_adaptive_sweep(
+            configs, model, jobs=args.jobs, cache=cache, policy=policy,
+            chunk=args.chunk, budget_fraction=args.budget_fraction,
+        )
+        measurements = result.measurements
+        _print_cache_stats(cache)
+        print(format_series(
+            x_label, xs,
+            {
+                "perf": [m.primary_metric for m in measurements],
+                "mpki": [m.mpki_model for m in measurements],
+                "ssd_rd_MB/s": [m.ssd_read_mb for m in measurements],
+            },
+            title=f"{args.workload} SF={args.scale_factor}: {args.axis} "
+            "sweep (adaptive)",
+        ))
+        marks = "".join("P" if m.is_predicted else "S" for m in measurements)
+        print(f"provenance: {marks} (S=simulated, P=predicted)")
+        print(f"adaptive-sweep: {result.summary()}")
+        return 0
     if policy.on_error == "raise":
         measurements = run_sweep(configs, jobs=args.jobs, cache=cache,
                                  policy=policy, chunk=args.chunk)
@@ -456,6 +561,107 @@ def _cmd_sweep(args) -> int:
         },
         title=f"{args.workload} SF={args.scale_factor}: {args.axis} sweep",
     ))
+    return 0
+
+
+def _resolve_surrogate_model(args, cache):
+    """A fitted surrogate from --model, else trained from the cache."""
+    from repro.surrogate import SurrogateModel, harvest
+
+    if getattr(args, "model", None):
+        return SurrogateModel.load(args.model)
+    if cache is None:
+        return None
+    corpus = harvest(cache)
+    if len(corpus) < 2:
+        return None
+    model = SurrogateModel().fit(corpus)
+    print(f"surrogate: trained on {model.trained_on} cached entries "
+          f"({corpus.stats.summary()})")
+    return model
+
+
+def _cmd_corpus(args) -> int:
+    """Corpus harvest/export/train (greppable: ``corpus-export:`` /
+    ``corpus-train:`` markers; the CI whatif job asserts on them)."""
+    from repro.surrogate import SurrogateModel, harvest
+
+    cache = _resolve_cache(args)
+    if cache is None:
+        print("corpus: a result cache is required (--cache-dir or "
+              "$REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    corpus = harvest(cache, include_faulted=args.include_faulted)
+    print(f"corpus: {corpus.stats.summary()}")
+    if args.action == "export":
+        path = corpus.save(args.output or "corpus.jsonl")
+        print(f"corpus-export: {len(corpus)} entries -> {path}")
+        return 0
+    if len(corpus) < 2:
+        print("corpus train: need at least 2 harvested entries, got "
+              f"{len(corpus)}", file=sys.stderr)
+        return 1
+    model = SurrogateModel().fit(corpus)
+    report = model.q_error_report(corpus)
+    print(format_table(
+        ["target", "q50", "q90", "qmax"],
+        [(name, f"{s['median']:.3f}", f"{s['p90']:.3f}", f"{s['max']:.3f}")
+         for name, s in report.items()],
+        title=f"Leave-one-out Q-error ({model.trained_on} entries)",
+    ))
+    top = model.coefficient_report()[:5]
+    print("top coefficients: "
+          + ", ".join(f"{name}={weight:.3f}" for name, weight in top))
+    if args.model_out:
+        print(f"model-saved: {model.save(args.model_out)}")
+    print(f"corpus-train: {model.trained_on} entries, overall median "
+          f"q-error {report['overall']['median']:.3f}")
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    """Interactive sizing answers (greppable: ``whatif:`` per answer and
+    a ``whatif-complete:`` source tally)."""
+    import asyncio
+
+    from repro.core.experiment import ExperimentConfig
+    from repro.errors import ConfigurationError
+    from repro.surrogate import WhatIfServer
+
+    try:
+        cores_axis = [int(c) for c in args.cores.split(",") if c.strip()]
+        llc_axis = [int(m) for m in args.llc_mb.split(",") if m.strip()]
+    except ValueError:
+        print(f"invalid --cores/--llc-mb list: {args.cores!r} / "
+              f"{args.llc_mb!r}", file=sys.stderr)
+        return 2
+    cache = _resolve_cache(args)
+    model = _resolve_surrogate_model(args, cache)
+    duration = args.duration or duration_for(args.workload, args.scale_factor)
+    configs = [
+        ExperimentConfig(
+            workload=args.workload, scale_factor=args.scale_factor,
+            allocation=ResourceAllocation(
+                logical_cores=cores, llc_mb=llc, max_dop=args.maxdop,
+                grant_percent=args.grant_percent,
+            ),
+            duration=duration, seed=args.seed,
+        )
+        for cores in cores_axis for llc in llc_axis
+    ]
+    try:
+        server = WhatIfServer(
+            model=model, cache=cache,
+            uncertainty_threshold=args.uncertainty_threshold,
+            allow_simulation=not args.no_simulation,
+        )
+        answers = asyncio.run(server.answer_many_async(configs))
+    except ConfigurationError as exc:
+        print(f"whatif: {exc}", file=sys.stderr)
+        return 1
+    for answer in answers:
+        print("whatif: " + answer.describe())
+    print(f"whatif-complete: {server.stats.summary()}")
     return 0
 
 
@@ -836,6 +1042,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "route": _cmd_route,
         "chaos": _cmd_chaos,
         "backends": _cmd_backends,
+        "corpus": _cmd_corpus,
+        "whatif": _cmd_whatif,
         "figure": _cmd_figure,
         "report": _cmd_report,
         "list": _cmd_list,

@@ -24,6 +24,11 @@ from repro.sim.stats import Cdf
 from repro.units import to_mb_per_s
 from repro.workloads.base import ThroughputTracker
 
+#: Measurement.source values: a point either ran through the simulator
+#: or was backfilled by the learned surrogate (repro.surrogate).
+SOURCE_SIMULATED = "simulated"
+SOURCE_PREDICTED = "predicted"
+
 
 @dataclass
 class Measurement:
@@ -70,8 +75,19 @@ class Measurement:
     #: Full fleet counter snapshot (ReplicaGroup.summary()), None outside
     #: chaos/fleet runs.
     fleet_summary: Optional[Dict[str, float]] = None
+    # -- surrogate provenance (repro.surrogate); every simulated run is
+    # -- SOURCE_SIMULATED.  Predicted points are synthesized by the
+    # -- adaptive planner / what-if server, carry the surrogate's
+    # -- uncertainty estimate, and are never written to the ResultCache.
+    source: str = "simulated"           #: "simulated" | "predicted"
+    predicted_uncertainty: Optional[float] = None
 
     # -- derived observables -------------------------------------------------
+
+    @property
+    def is_predicted(self) -> bool:
+        """True when this point came from the surrogate, not the simulator."""
+        return self.source == SOURCE_PREDICTED
 
     @property
     def mpki(self) -> float:

@@ -18,6 +18,7 @@ heapify instead of N pushes where that is cheaper.
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -112,27 +113,36 @@ class EventLoop:
         """Schedule many ``(time, callback, payload)`` entries at once.
 
         Equivalent to ``schedule_at`` per entry — same FIFO tie-breaking,
-        in iteration order — but a batch larger than the live heap is
-        folded in with one O(n) heapify instead of per-entry pushes.
+        in iteration order — but amortized: the loop-invariant lookups
+        (clock, sequence counter, heap) are hoisted out of the per-entry
+        path, the compaction check runs once per batch instead of once
+        per entry, and a batch larger than the live heap is folded in
+        with one O(n) heapify instead of per-entry pushes.
         """
-        staged: List[Tuple[float, int, Event]] = []
-        for time, callback, payload in entries:
-            if time < self._now:
-                raise SimulationError(
-                    f"cannot schedule event in the past: {time} < {self._now}"
-                )
-            event = Event(time, callback, payload)
+        events = list(itertools.starmap(Event, entries))
+        if not events:
+            return events
+        earliest = min(event.time for event in events)
+        if earliest < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {earliest} < {self._now}"
+            )
+        for event in events:
             event._loop = self
-            staged.append((time, self._seq, event))
-            self._seq += 1
-        if len(staged) > len(self._heap):
-            self._heap.extend(staged)
-            heapq.heapify(self._heap)
+        seq = self._seq
+        self._seq = seq + len(events)
+        staged = [(event.time, number, event)
+                  for number, event in enumerate(events, seq)]
+        heap = self._heap
+        if len(staged) > len(heap):
+            heap.extend(staged)
+            heapq.heapify(heap)
         else:
+            push = heapq.heappush
             for entry in staged:
-                heapq.heappush(self._heap, entry)
+                push(heap, entry)
         self._maybe_compact()
-        return [entry[2] for entry in staged]
+        return events
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1

@@ -1,0 +1,57 @@
+"""Learned sensitivity surrogate: interactive what-if serving.
+
+Every question the harness answers ("how does throughput respond to
+cores / LLC / bandwidth / MAXDOP / grant?") historically cost a full
+simulation sweep.  This package turns the content-addressed
+:class:`~repro.core.resultcache.ResultCache` — which every sweep has been
+filling since PR 1 — into a training corpus for a dependency-light
+predictor, and uses that predictor three ways:
+
+* :mod:`repro.surrogate.corpus` harvests (features → metrics) pairs from
+  cache entries and attempt journals;
+* :mod:`repro.surrogate.model` fits a deterministic numpy ridge + k-NN
+  ensemble with per-prediction uncertainty and a Q-error report;
+* :mod:`repro.surrogate.planner` runs *adaptive* sweeps — simulate only
+  the high-uncertainty and knee-adjacent grid points, backfill the rest
+  from the surrogate with explicit ``source="predicted"`` provenance;
+* :mod:`repro.surrogate.serve` answers sizing queries at interactive
+  latency from cache-or-surrogate, falling back to simulation.
+
+Provenance is the load-bearing invariant: a predicted point is never
+written to the result cache (the cache holds simulated truth only), and
+every prediction carries ``Measurement.source == "predicted"`` plus the
+model's uncertainty so figures and reports can distinguish it.
+"""
+
+from repro.surrogate.corpus import Corpus, CorpusEntry, HarvestStats, harvest
+from repro.surrogate.features import (
+    FEATURE_NAMES,
+    features_for_config,
+    features_for_measurement,
+)
+from repro.surrogate.model import SurrogateModel, q_error
+from repro.surrogate.planner import (
+    AdaptivePlan,
+    AdaptiveSweepResult,
+    plan_adaptive_sweep,
+    run_adaptive_sweep,
+)
+from repro.surrogate.serve import WhatIfAnswer, WhatIfServer
+
+__all__ = [
+    "AdaptivePlan",
+    "AdaptiveSweepResult",
+    "Corpus",
+    "CorpusEntry",
+    "FEATURE_NAMES",
+    "HarvestStats",
+    "SurrogateModel",
+    "WhatIfAnswer",
+    "WhatIfServer",
+    "features_for_config",
+    "features_for_measurement",
+    "harvest",
+    "plan_adaptive_sweep",
+    "q_error",
+    "run_adaptive_sweep",
+]

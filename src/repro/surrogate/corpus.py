@@ -1,0 +1,230 @@
+"""Harvest a training corpus from the result cache and attempt journals.
+
+Every sweep the harness has ever run through a
+:class:`~repro.core.resultcache.ResultCache` left behind pickled
+:class:`~repro.core.measurement.Measurement` entries addressed by config
+digest.  :func:`harvest` walks them (via the corruption-tolerant
+:meth:`~repro.core.resultcache.ResultCache.iter_entries`), turns each
+into a ``(features → targets)`` training pair, and — when the sweep
+journal is available — annotates entries with their attempt history so
+flaky points can be weighted or excluded downstream.
+
+What is *excluded* matters as much as what is included:
+
+* fault-injected runs (``fault_summary`` present) measure the recovery
+  path, not the resource response, and would poison the regression;
+* predicted entries (``source == "predicted"``) must never appear — the
+  planner never writes them to the cache, but a harvest double-checks so
+  a model can never be trained on its own predictions (feedback loop);
+* quarantined ``.corrupt-*`` files are counted, not raised on.
+
+The corpus serializes to JSON-lines (one header line with the feature /
+target schema, one line per entry) for the ``repro corpus export`` CLI,
+and loads back for offline training.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.journal import SweepJournal
+from repro.core.measurement import SOURCE_PREDICTED, Measurement
+from repro.core.resultcache import ResultCache
+from repro.errors import ConfigurationError
+from repro.surrogate.features import FEATURE_NAMES, features_for_measurement
+
+#: Corpus file format version (header line); bump on schema changes.
+CORPUS_FORMAT_VERSION = 1
+
+#: Prediction targets, in order: the primary throughput metric plus the
+#: key derived counters the figures plot (model MPKI and the four mean
+#: bandwidths).  All strictly positive after flooring, so the model can
+#: regress them in log space and report Q-errors.
+TARGET_NAMES: Tuple[str, ...] = (
+    "primary_metric",
+    "mpki_model",
+    "ssd_read_mb",
+    "ssd_write_mb",
+    "dram_read_mb",
+    "dram_write_mb",
+)
+
+
+def targets_for_measurement(measurement: Measurement) -> np.ndarray:
+    """The target vector (``TARGET_NAMES`` order) of one measurement."""
+    return np.asarray(
+        [
+            measurement.primary_metric,
+            measurement.mpki_model,
+            measurement.ssd_read_mb,
+            measurement.ssd_write_mb,
+            measurement.dram_read_mb,
+            measurement.dram_write_mb,
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One training pair: a digest-keyed (features, targets) row."""
+
+    digest: str
+    workload: str
+    scale_factor: int
+    features: Tuple[float, ...]
+    targets: Tuple[float, ...]
+    #: Failed attempts the journal recorded for this digest (0 when no
+    #: journal was consulted or the point succeeded first try).
+    attempts: int = 0
+
+
+@dataclass
+class HarvestStats:
+    """What a cache scan found, kept, and skipped — the honesty report."""
+
+    scanned: int = 0
+    harvested: int = 0
+    skipped_faulted: int = 0
+    skipped_predicted: int = 0
+    quarantined: int = 0
+    journal_failures: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.harvested}/{self.scanned} entries harvested "
+            f"({self.skipped_faulted} faulted skipped, "
+            f"{self.skipped_predicted} predicted skipped, "
+            f"{self.quarantined} quarantined, "
+            f"{self.journal_failures} journaled failures)"
+        )
+
+
+@dataclass
+class Corpus:
+    """An ordered, deduplicated set of training pairs."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+    stats: HarvestStats = field(default_factory=HarvestStats)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def sorted_by_digest(self) -> "Corpus":
+        """Canonical order: training must not depend on scan order."""
+        return Corpus(
+            entries=sorted(self.entries, key=lambda e: e.digest),
+            stats=self.stats,
+        )
+
+    def feature_matrix(self) -> np.ndarray:
+        if not self.entries:
+            return np.empty((0, len(FEATURE_NAMES)), dtype=np.float64)
+        return np.asarray([e.features for e in self.entries], dtype=np.float64)
+
+    def target_matrix(self) -> np.ndarray:
+        if not self.entries:
+            return np.empty((0, len(TARGET_NAMES)), dtype=np.float64)
+        return np.asarray([e.targets for e in self.entries], dtype=np.float64)
+
+    # -- serialization ---------------------------------------------------------
+
+    def save(self, path) -> Path:
+        """Write JSON-lines: one schema header, then one line per entry."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "corpus_format": CORPUS_FORMAT_VERSION,
+            "feature_names": list(FEATURE_NAMES),
+            "target_names": list(TARGET_NAMES),
+            "entries": len(self.entries),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for entry in self.entries:
+                handle.write(json.dumps({
+                    "digest": entry.digest,
+                    "workload": entry.workload,
+                    "scale_factor": entry.scale_factor,
+                    "features": list(entry.features),
+                    "targets": list(entry.targets),
+                    "attempts": entry.attempts,
+                }, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Corpus":
+        path = Path(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ConfigurationError(f"empty corpus file: {path}")
+        header = json.loads(lines[0])
+        if header.get("corpus_format") != CORPUS_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"corpus {path} has format {header.get('corpus_format')}, "
+                f"expected {CORPUS_FORMAT_VERSION}"
+            )
+        if header.get("feature_names") != list(FEATURE_NAMES):
+            raise ConfigurationError(
+                f"corpus {path} was extracted with a different feature "
+                "schema; re-export it"
+            )
+        entries = []
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            entries.append(CorpusEntry(
+                digest=record["digest"],
+                workload=record["workload"],
+                scale_factor=record["scale_factor"],
+                features=tuple(record["features"]),
+                targets=tuple(record["targets"]),
+                attempts=record.get("attempts", 0),
+            ))
+        return cls(entries=entries)
+
+
+def harvest(
+    cache: ResultCache,
+    journal: Optional[SweepJournal] = None,
+    include_faulted: bool = False,
+) -> Corpus:
+    """Scan *cache* into a training corpus, in canonical digest order.
+
+    When *journal* is omitted, the sweep journal next to the cache
+    (``sweep-journal.jsonl``) is loaded if present — it carries the
+    attempt counts and the failure records that explain grid holes.
+    """
+    if journal is None:
+        journal_path = cache.directory / "sweep-journal.jsonl"
+        if journal_path.exists():
+            journal = SweepJournal(journal_path)
+    stats = HarvestStats(quarantined=cache.quarantined_entries())
+    if journal is not None:
+        stats.journal_failures = len(journal.failed_digests())
+    entries: List[CorpusEntry] = []
+    for digest, measurement in cache.iter_entries():
+        stats.scanned += 1
+        if measurement.source == SOURCE_PREDICTED:
+            stats.skipped_predicted += 1
+            continue
+        if measurement.fault_summary is not None and not include_faulted:
+            stats.skipped_faulted += 1
+            continue
+        entries.append(CorpusEntry(
+            digest=digest,
+            workload=measurement.workload,
+            scale_factor=measurement.scale_factor,
+            features=tuple(features_for_measurement(measurement).tolist()),
+            targets=tuple(targets_for_measurement(measurement).tolist()),
+            attempts=journal.attempts(digest) if journal is not None else 0,
+        ))
+    stats.harvested = len(entries)
+    return Corpus(entries=entries, stats=stats).sorted_by_digest()

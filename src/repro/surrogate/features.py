@@ -1,0 +1,231 @@
+"""Deterministic feature extraction for the sensitivity surrogate.
+
+A feature vector describes one experiment the way the *model* sees it:
+the resource-allocation knob vector, the engine personality's resource
+profile, and the workload's intrinsic footprint statistics (miss-ratio
+curve knees, access density, Table 2 data/index sizes).  The same
+physics the simulator runs forward, summarized as regressors.
+
+Two entry points produce byte-identical vectors for the same run:
+
+* :func:`features_for_config` — from an
+  :class:`~repro.core.experiment.ExperimentConfig` (the planner / serve
+  path, where the exact config is in hand);
+* :func:`features_for_measurement` — from a cached
+  :class:`~repro.core.measurement.Measurement` (the corpus-harvest path,
+  where only the measurement's recorded fields survive).
+
+The feature set is therefore restricted to fields a Measurement records
+(workload, scale factor, allocation, duration, backend personality):
+``workload_kwargs`` and the seed are deliberately *not* features, so a
+harvested corpus and a live prediction can never disagree about what a
+point looks like.  Everything is pure float64 arithmetic over calibrated
+constants — no RNG, no wall clock — so extraction is bit-reproducible
+across processes and job counts.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.core.measurement import Measurement
+from repro.units import GIB, MIB
+
+#: Workload one-hot order (fixed; new workloads append, never reorder).
+WORKLOAD_ORDER: Tuple[str, ...] = ("asdb", "htap", "tpce", "tpch")
+
+#: The full LLC of the paper's machine (the Fig 2 right edge), in MB.
+FULL_LLC_MB = 40
+
+#: Feature vector layout, in order.  ``feature_names()`` returns this;
+#: the model's coefficient report keys on it.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "cores",
+    "log2_cores",
+    "llc_mb",
+    "log2_llc_mb",
+    "effective_max_dop",
+    "grant_percent",
+    "read_bw_limited",
+    "log10_read_bw",
+    "write_bw_limited",
+    "log10_write_bw",
+    "log10_scale_factor",
+    "log10_duration",
+    "routed",
+) + tuple(f"workload_{name}" for name in WORKLOAD_ORDER) + (
+    "backend_scan_score",
+    "backend_point_score",
+    "backend_parallel_efficiency",
+    "backend_memory_elasticity",
+    "backend_startup_seconds",
+    "mrc_knee_first_mib",
+    "mrc_knee_last_mib",
+    "mrc_total_apki",
+    "mrc_mpki_at_alloc",
+    "mrc_mpki_at_full",
+    "mrc_hit_ratio_at_alloc",
+    "log10_data_gb",
+    "log10_index_gb",
+)
+
+
+def feature_names() -> Tuple[str, ...]:
+    """The ordered names of :func:`features_for_config`'s vector."""
+    return FEATURE_NAMES
+
+
+@functools.lru_cache(maxsize=64)
+def _workload_stats(workload: str, scale_factor: int):
+    """Memoized intrinsic footprint statistics for one (workload, sf).
+
+    MRC construction and Table 2 schema sizing are deterministic pure
+    functions of calibrated constants, so caching them is safe and keeps
+    grid-scale extraction out of the schema builders.
+    """
+    from repro.engine.schemas import build
+    from repro.workloads.profiles import execution_profile
+
+    mrc = execution_profile(workload, scale_factor).mrc
+    knees = [k for k in mrc.knee_bytes() if math.isfinite(k)]
+    database = build(workload, scale_factor)
+    return (
+        mrc,
+        (knees[0] / MIB) if knees else 0.0,
+        (knees[-1] / MIB) if knees else 0.0,
+        mrc.total_accesses_per_ki(),
+        database.data_bytes / GIB,
+        database.index_bytes / GIB,
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def _backend_profile(backend: str):
+    """Resource-profile scores for a personality; routed runs (and any
+    unknown label a future cache might carry) fall back to the rowstore
+    baseline profile so extraction never raises on old entries."""
+    from repro.backends import make_backend
+
+    try:
+        return make_backend(backend).resource_profile()
+    except Exception:
+        from repro.backends.base import BackendResourceProfile
+
+        return BackendResourceProfile()
+
+
+def _log10_limit(limit) -> Tuple[float, float]:
+    """(limited flag, log10 bytes/s) encoding of an optional cap."""
+    if limit is None or limit <= 0:
+        return 0.0, 0.0
+    return 1.0, math.log10(limit)
+
+
+def feature_vector(
+    workload: str,
+    scale_factor: int,
+    allocation: ResourceAllocation,
+    duration: float,
+    backend: str,
+    routed: bool,
+) -> np.ndarray:
+    """The shared core: a float64 vector over recorded run fields."""
+    mrc, knee_first, knee_last, total_apki, data_gb, index_gb = (
+        _workload_stats(workload, scale_factor)
+    )
+    profile = _backend_profile(backend)
+    llc_bytes = allocation.llc_mb * MIB
+    read_flag, read_log = _log10_limit(allocation.read_bw_limit)
+    write_flag, write_log = _log10_limit(allocation.write_bw_limit)
+    values = [
+        float(allocation.logical_cores),
+        math.log2(allocation.logical_cores),
+        float(allocation.llc_mb),
+        math.log2(allocation.llc_mb),
+        float(allocation.effective_max_dop),
+        float(allocation.grant_percent),
+        read_flag,
+        read_log,
+        write_flag,
+        write_log,
+        math.log10(scale_factor),
+        math.log10(max(duration, 1e-9)),
+        1.0 if routed else 0.0,
+    ]
+    values.extend(1.0 if workload == name else 0.0 for name in WORKLOAD_ORDER)
+    values.extend([
+        profile.scan_bandwidth_score,
+        profile.point_lookup_score,
+        profile.parallel_efficiency,
+        profile.memory_elasticity,
+        profile.startup_seconds,
+        knee_first,
+        knee_last,
+        total_apki,
+        mrc.mpki(llc_bytes),
+        mrc.mpki(FULL_LLC_MB * MIB),
+        mrc.hit_ratio(llc_bytes),
+        math.log10(max(data_gb, 1e-9)),
+        math.log10(max(index_gb, 1e-9)),
+    ])
+    vector = np.asarray(values, dtype=np.float64)
+    assert vector.shape == (len(FEATURE_NAMES),)
+    return vector
+
+
+def features_for_config(config: ExperimentConfig) -> np.ndarray:
+    """Feature vector for a fully-specified experiment config."""
+    return feature_vector(
+        config.workload,
+        config.scale_factor,
+        config.allocation,
+        config.duration,
+        config.backend if not config.routed else "rowstore-oltp",
+        config.routed,
+    )
+
+
+def features_for_measurement(measurement: Measurement) -> np.ndarray:
+    """Feature vector reconstructed from a cached measurement.
+
+    ``Measurement.backend`` carries either a personality name or a
+    ``router:<policy>`` label; routed entries use the baseline profile
+    plus the ``routed`` flag, exactly as :func:`features_for_config`
+    encodes a routed config — the two paths agree byte for byte.
+    """
+    routed = measurement.backend.startswith("router:")
+    return feature_vector(
+        measurement.workload,
+        measurement.scale_factor,
+        measurement.allocation,
+        measurement.duration,
+        measurement.backend if not routed else "rowstore-oltp",
+        routed,
+    )
+
+
+def knee_adjacent_llc_mb(workload: str, scale_factor: int) -> Tuple[int, ...]:
+    """The LLC grid sizes (MB, 2 MB granularity) bracketing MRC knees.
+
+    The paper's §5 observation — and the adaptive planner's seed set:
+    the response curve bends exactly at the cumulative working-set
+    footprints, so those are the points a surrogate-guided sweep must
+    *simulate* rather than interpolate.
+    """
+    mrc = _workload_stats(workload, scale_factor)[0]
+    sizes = set()
+    for knee in mrc.knee_bytes():
+        if not math.isfinite(knee):
+            continue
+        mb = knee / MIB
+        below = max(2, 2 * math.floor(mb / 2))
+        above = 2 * math.ceil(mb / 2)
+        sizes.add(int(below))
+        sizes.add(int(max(2, above)))
+    return tuple(sorted(sizes))

@@ -1,0 +1,305 @@
+"""Dependency-light surrogate: a deterministic ridge + k-NN ensemble.
+
+The predictor follows the learned-cost-model lineage in PAPERS.md
+(QueryTorque's Q-error framing; ResQ-style resource profiles) but stays
+inside the repo's constraints: numpy only, closed-form training, and —
+because cached corpora are harvested in canonical digest order — *bit-
+identical* coefficients and predictions for the same corpus regardless
+of process, job count, or scan order.
+
+Two complementary members:
+
+* **Ridge regression** in standardized feature space over log-space
+  targets.  Log space makes the squared loss optimize relative error,
+  which is what Q-error measures; the closed form
+  ``(XᵀX + λI)θ = Xᵀy`` needs no iteration, no RNG, no learning rate.
+* **k-NN** over the same standardized space: database response surfaces
+  are piecewise (MRC knees, plan flips), and nearest measured neighbors
+  capture the local plateaus a global linear model smooths over.
+
+The ensemble averages the two in log space.  Per-prediction
+**uncertainty** combines what each member knows the other might miss:
+the members' disagreement on the primary metric plus the normalized
+distance to the nearest training point (far from the corpus = low
+trust).  The adaptive planner spends its simulation budget on exactly
+the high-uncertainty points.
+
+Q-error — ``max(pred/actual, actual/pred)``, ≥ 1, multiplicative — is
+reported per target from leave-one-out evaluation over the corpus: each
+point is predicted with itself excluded from the neighbor set, so the
+report measures interpolation, not memorization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.surrogate.corpus import Corpus, TARGET_NAMES
+from repro.surrogate.features import FEATURE_NAMES
+
+#: Ridge regularization strength (standardized features make one value
+#: serviceable across axes).
+RIDGE_LAMBDA = 1e-2
+
+#: Neighbors consulted by the k-NN member (capped at corpus size).
+KNN_NEIGHBORS = 3
+
+#: Floor applied before taking logs: targets are physically >= 0 (a
+#: bandwidth can be exactly zero) and Q-error needs positive values.
+TARGET_FLOOR = 1e-6
+
+#: Weight of the normalized nearest-neighbor distance in the
+#: uncertainty score (the rest is member disagreement).
+DISTANCE_WEIGHT = 0.5
+
+#: Log-space prediction clamp (e^50 ~ 5e21): far extrapolation saturates
+#: instead of overflowing ``exp`` — such points carry high uncertainty
+#: and fall to simulation anyway.
+LOG_CLIP = 50.0
+
+
+def q_error(predicted: float, actual: float) -> float:
+    """The multiplicative error ``max(pred/actual, actual/pred)`` (>= 1)."""
+    p = max(float(predicted), TARGET_FLOOR)
+    a = max(float(actual), TARGET_FLOOR)
+    return max(p / a, a / p)
+
+
+@dataclass
+class Prediction:
+    """One what-if answer: target estimates plus a trust score."""
+
+    targets: Dict[str, float]
+    uncertainty: float
+
+    @property
+    def primary_metric(self) -> float:
+        return self.targets[TARGET_NAMES[0]]
+
+
+class SurrogateModel:
+    """Ridge + k-NN ensemble over harvested corpus entries."""
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None     # feature standardizer
+        self._scale: Optional[np.ndarray] = None
+        self._theta: Optional[np.ndarray] = None    # ridge coefficients
+        self._train_x: Optional[np.ndarray] = None  # standardized features
+        self._train_logy: Optional[np.ndarray] = None
+        self._distance_scale: float = 1.0
+        self.trained_on: int = 0
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, corpus: Corpus) -> "SurrogateModel":
+        """Closed-form fit; deterministic for a given corpus content.
+
+        The corpus is re-sorted by digest before anything touches numpy,
+        so two harvests of the same cache — whatever order the sweeps
+        that filled it ran in, at any job count — produce the same
+        matrices, the same factorization, and bit-identical coefficients.
+        """
+        corpus = corpus.sorted_by_digest()
+        if len(corpus) < 2:
+            raise ConfigurationError(
+                f"need at least 2 corpus entries to fit, got {len(corpus)}"
+            )
+        features = corpus.feature_matrix()
+        targets = corpus.target_matrix()
+        self._mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        # Relative tolerance: a column of fourteen 0.3s has std ~1e-17
+        # (float summation noise), not exactly 0 — treating it as varying
+        # would standardize noise into a spurious regressor and make any
+        # off-corpus query value explode through the 1e-17 divisor.
+        scale[scale <= 1e-9 * np.maximum(np.abs(self._mean), 1.0)] = 1.0
+        self._scale = scale
+        x = (features - self._mean) / self._scale
+        logy = np.log(np.maximum(targets, TARGET_FLOOR))
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        gram = design.T @ design
+        gram += RIDGE_LAMBDA * np.eye(gram.shape[0])
+        self._theta = np.linalg.solve(gram, design.T @ logy)
+        self._train_x = x
+        self._train_logy = logy
+        # Normalize neighbor distances by the corpus's own spread so the
+        # uncertainty score is comparable across corpora of any size.
+        centroid_dist = np.sqrt((x ** 2).sum(axis=1))
+        self._distance_scale = float(max(np.median(centroid_dist), 1e-9))
+        self.trained_on = len(corpus)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._theta is not None
+
+    def _require_fit(self) -> None:
+        if not self.fitted:
+            raise ConfigurationError("surrogate model is not fitted")
+
+    # -- prediction ------------------------------------------------------------
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        return (np.asarray(features, dtype=np.float64) - self._mean) / self._scale
+
+    def _ridge_log(self, x: np.ndarray) -> np.ndarray:
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        return design @ self._theta
+
+    def _knn_log(
+        self, x: np.ndarray, exclude: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(log-target estimates, mean neighbor distance) per query row.
+
+        ``exclude`` drops one training row from the neighbor set — the
+        leave-one-out hook used by :meth:`q_error_report`.
+        """
+        train_x = self._train_x
+        train_y = self._train_logy
+        if exclude is not None:
+            keep = np.arange(train_x.shape[0]) != exclude
+            train_x = train_x[keep]
+            train_y = train_y[keep]
+        diffs = x[:, None, :] - train_x[None, :, :]
+        dists = np.sqrt((diffs ** 2).sum(axis=2))
+        k = min(KNN_NEIGHBORS, train_x.shape[0])
+        order = np.argsort(dists, axis=1, kind="stable")[:, :k]
+        rows = np.arange(x.shape[0])[:, None]
+        neighbor_dists = dists[rows, order]
+        # Inverse-distance weights; an exact feature match dominates.
+        weights = 1.0 / np.maximum(neighbor_dists, 1e-12)
+        weights /= weights.sum(axis=1, keepdims=True)
+        estimates = (train_y[order] * weights[:, :, None]).sum(axis=1)
+        return estimates, neighbor_dists.mean(axis=1)
+
+    def predict_many(
+        self, features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(targets matrix, uncertainty vector) for a feature matrix.
+
+        Targets come back in linear space (``TARGET_NAMES`` order).
+        Uncertainty is dimensionless and relative: member disagreement
+        on the primary metric (log space, so it reads as a relative
+        error) plus the distance-to-corpus penalty.
+        """
+        self._require_fit()
+        x = self._standardize(np.atleast_2d(features))
+        ridge_log = self._ridge_log(x)
+        knn_log, mean_dist = self._knn_log(x)
+        blend_log = 0.5 * (ridge_log + knn_log)
+        disagreement = np.abs(ridge_log[:, 0] - knn_log[:, 0])
+        uncertainty = disagreement + DISTANCE_WEIGHT * (
+            mean_dist / self._distance_scale
+        )
+        return np.exp(np.clip(blend_log, -LOG_CLIP, LOG_CLIP)), uncertainty
+
+    def predict(self, features: np.ndarray) -> Prediction:
+        """One feature vector in, one :class:`Prediction` out."""
+        targets, uncertainty = self.predict_many(
+            np.asarray(features, dtype=np.float64)[None, :]
+        )
+        return Prediction(
+            targets=dict(zip(TARGET_NAMES, targets[0].tolist())),
+            uncertainty=float(uncertainty[0]),
+        )
+
+    # -- evaluation ------------------------------------------------------------
+
+    def q_error_report(self, corpus: Corpus) -> Dict[str, Dict[str, float]]:
+        """Leave-one-out Q-error per target over *corpus*.
+
+        Each entry is predicted with itself removed from the k-NN
+        neighbor set (the ridge member is global and barely memorizes a
+        single point at this regularization).  Returns
+        ``{target: {median, p90, max}}`` plus an ``"overall"`` row
+        aggregating every (entry, target) pair.
+        """
+        self._require_fit()
+        corpus = corpus.sorted_by_digest()
+        features = corpus.feature_matrix()
+        targets = corpus.target_matrix()
+        if features.shape[0] < 2:
+            raise ConfigurationError("need at least 2 entries to evaluate")
+        x = self._standardize(features)
+        ridge_log = self._ridge_log(x)
+        errors = np.empty_like(targets)
+        for i in range(x.shape[0]):
+            knn_log, _ = self._knn_log(x[i:i + 1], exclude=i)
+            predicted = np.exp(np.clip(
+                0.5 * (ridge_log[i] + knn_log[0]), -LOG_CLIP, LOG_CLIP
+            ))
+            for j in range(targets.shape[1]):
+                errors[i, j] = q_error(predicted[j], targets[i, j])
+
+        def stats(values: np.ndarray) -> Dict[str, float]:
+            return {
+                "median": float(np.median(values)),
+                "p90": float(np.percentile(values, 90)),
+                "max": float(values.max()),
+            }
+
+        report = {
+            name: stats(errors[:, j]) for j, name in enumerate(TARGET_NAMES)
+        }
+        report["overall"] = stats(errors.ravel())
+        return report
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        self._require_fit()
+        return {
+            "feature_names": list(FEATURE_NAMES),
+            "target_names": list(TARGET_NAMES),
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+            "theta": self._theta.tolist(),
+            "train_x": self._train_x.tolist(),
+            "train_logy": self._train_logy.tolist(),
+            "distance_scale": self._distance_scale,
+            "trained_on": self.trained_on,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SurrogateModel":
+        if payload.get("feature_names") != list(FEATURE_NAMES):
+            raise ConfigurationError(
+                "serialized model was trained on a different feature schema"
+            )
+        model = cls()
+        model._mean = np.asarray(payload["mean"], dtype=np.float64)
+        model._scale = np.asarray(payload["scale"], dtype=np.float64)
+        model._theta = np.asarray(payload["theta"], dtype=np.float64)
+        model._train_x = np.asarray(payload["train_x"], dtype=np.float64)
+        model._train_logy = np.asarray(payload["train_logy"], dtype=np.float64)
+        model._distance_scale = float(payload["distance_scale"])
+        model.trained_on = int(payload["trained_on"])
+        return model
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SurrogateModel":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def coefficient_report(self) -> List[Tuple[str, float]]:
+        """(feature, |primary-metric coefficient|) sorted descending —
+        which knobs the fitted surface actually responds to."""
+        self._require_fit()
+        weights = self._theta[1:, 0]  # skip bias; primary-metric column
+        pairs = sorted(
+            zip(FEATURE_NAMES, np.abs(weights).tolist()),
+            key=lambda kv: -kv[1],
+        )
+        return [(name, round(weight, 6)) for name, weight in pairs]

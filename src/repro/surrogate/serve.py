@@ -1,0 +1,196 @@
+"""Interactive what-if serving: sizing answers without sweep latency.
+
+Grown from ``examples/cloud_sizing.py``: that example asks "which
+bandwidth tier meets my QPS target?" by running a full sweep per
+question.  The :class:`WhatIfServer` answers the same class of question
+— "throughput at 6 cores / 8 LLC ways / 70% grant?" — at interactive
+latency by consulting, in order:
+
+1. the **result cache** (simulated ground truth, if this exact config
+   was ever measured),
+2. the **surrogate** (when its uncertainty clears the configured bar),
+3. **simulation** as the fallback of record — run the experiment, store
+   it in the cache, answer with truth.
+
+Every answer carries its provenance (``cache`` / ``surrogate`` /
+``simulated``), the uncertainty when predicted, and the server-side
+latency, so callers can tell an 8 ms surrogate answer from a 40 s
+simulation.  The async API wraps the blocking resolution in a worker
+thread (``asyncio.to_thread``), which keeps cache/surrogate answers
+concurrent while a simulation fallback is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.core.measurement import Measurement
+from repro.core.resultcache import ResultCache
+from repro.errors import ConfigurationError
+from repro.surrogate.corpus import TARGET_NAMES, targets_for_measurement
+from repro.surrogate.features import features_for_config
+from repro.surrogate.model import SurrogateModel
+
+#: Answer provenance labels.
+SOURCE_CACHE = "cache"
+SOURCE_SURROGATE = "surrogate"
+SOURCE_SIMULATED = "simulated"
+
+#: Predictions above this uncertainty fall through to simulation.
+DEFAULT_UNCERTAINTY_THRESHOLD = 0.35
+
+
+@dataclass
+class WhatIfAnswer:
+    """One sizing answer with provenance and serve-side latency."""
+
+    config: ExperimentConfig
+    source: str                       # "cache" | "surrogate" | "simulated"
+    targets: Dict[str, float]
+    uncertainty: Optional[float]      # None for ground-truth sources
+    latency_seconds: float
+
+    @property
+    def primary_metric(self) -> float:
+        return self.targets[TARGET_NAMES[0]]
+
+    def describe(self) -> str:
+        alloc = self.config.allocation
+        text = (
+            f"{self.config.workload} sf={self.config.scale_factor} "
+            f"cores={alloc.logical_cores} llc={alloc.llc_mb}MB "
+            f"grant={alloc.grant_percent:g}%"
+        )
+        if alloc.read_bw_limit:
+            text += f" rd<={alloc.read_bw_limit / 1e6:g}MB/s"
+        if alloc.write_bw_limit:
+            text += f" wr<={alloc.write_bw_limit / 1e6:g}MB/s"
+        text += f": {self.primary_metric:.3f} [{self.source}"
+        if self.uncertainty is not None:
+            text += f", uncertainty {self.uncertainty:.3f}"
+        return text + f", {self.latency_seconds * 1000.0:.1f} ms]"
+
+
+@dataclass
+class ServeStats:
+    """Per-source answer counters (the serve-path scoreboard)."""
+
+    cache: int = 0
+    surrogate: int = 0
+    simulated: int = 0
+    refused: int = 0
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+
+    def observe(self, answer: WhatIfAnswer) -> None:
+        setattr(self, answer.source, getattr(self, answer.source) + 1)
+        self.latencies.setdefault(answer.source, []).append(
+            answer.latency_seconds
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.cache} cache, {self.surrogate} surrogate, "
+            f"{self.simulated} simulated, {self.refused} refused"
+        )
+
+
+class WhatIfServer:
+    """Answer sizing queries from cache-or-surrogate with sim fallback."""
+
+    def __init__(
+        self,
+        model: Optional[SurrogateModel] = None,
+        cache: Optional[ResultCache] = None,
+        uncertainty_threshold: float = DEFAULT_UNCERTAINTY_THRESHOLD,
+        allow_simulation: bool = True,
+    ) -> None:
+        if model is None and cache is None and not allow_simulation:
+            raise ConfigurationError(
+                "a what-if server needs a model, a cache, or simulation"
+            )
+        self.model = model
+        self.cache = cache
+        self.uncertainty_threshold = uncertainty_threshold
+        self.allow_simulation = allow_simulation
+        self.stats = ServeStats()
+
+    # -- resolution ------------------------------------------------------------
+
+    def _from_cache(self, config: ExperimentConfig) -> Optional[Measurement]:
+        if self.cache is None:
+            return None
+        return self.cache.get(config)
+
+    def _answer_targets(self, measurement: Measurement) -> Dict[str, float]:
+        return dict(zip(
+            TARGET_NAMES, targets_for_measurement(measurement).tolist()
+        ))
+
+    def answer(self, config: ExperimentConfig) -> WhatIfAnswer:
+        """Resolve one query synchronously (see module docstring order)."""
+        start = time.perf_counter()
+        cached = self._from_cache(config)
+        if cached is not None:
+            answer = WhatIfAnswer(
+                config=config,
+                source=SOURCE_CACHE,
+                targets=self._answer_targets(cached),
+                uncertainty=None,
+                latency_seconds=time.perf_counter() - start,
+            )
+            self.stats.observe(answer)
+            return answer
+        if self.model is not None and self.model.fitted:
+            prediction = self.model.predict(features_for_config(config))
+            if (prediction.uncertainty <= self.uncertainty_threshold
+                    or not self.allow_simulation):
+                answer = WhatIfAnswer(
+                    config=config,
+                    source=SOURCE_SURROGATE,
+                    targets=dict(prediction.targets),
+                    uncertainty=prediction.uncertainty,
+                    latency_seconds=time.perf_counter() - start,
+                )
+                self.stats.observe(answer)
+                return answer
+        if not self.allow_simulation:
+            self.stats.refused += 1
+            raise ConfigurationError(
+                "what-if query unanswerable: no cache entry, surrogate "
+                "uncertain (or absent), and simulation fallback disabled"
+            )
+        measurement = Experiment(config).run()
+        if self.cache is not None:
+            self.cache.put(config, measurement)
+        answer = WhatIfAnswer(
+            config=config,
+            source=SOURCE_SIMULATED,
+            targets=self._answer_targets(measurement),
+            uncertainty=None,
+            latency_seconds=time.perf_counter() - start,
+        )
+        self.stats.observe(answer)
+        return answer
+
+    def answer_many(
+        self, configs: Sequence[ExperimentConfig]
+    ) -> List[WhatIfAnswer]:
+        return [self.answer(config) for config in configs]
+
+    # -- async API -------------------------------------------------------------
+
+    async def answer_async(self, config: ExperimentConfig) -> WhatIfAnswer:
+        """Async resolution; the blocking path runs in a worker thread."""
+        return await asyncio.to_thread(self.answer, config)
+
+    async def answer_many_async(
+        self, configs: Sequence[ExperimentConfig]
+    ) -> List[WhatIfAnswer]:
+        """Resolve many queries concurrently, results in input order."""
+        return list(await asyncio.gather(
+            *(self.answer_async(config) for config in configs)
+        ))

@@ -1,0 +1,49 @@
+"""Shared fixtures: one seeded cache + trained surrogate per session.
+
+The training sweep is the expensive part (a 16-point ASDB grid), so it
+runs once and every surrogate test module reads from it."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.knobs import ResourceAllocation
+from repro.core.resultcache import ResultCache
+from repro.core.runner import run_supervised
+from repro.surrogate import SurrogateModel, harvest
+
+GRID_CORES = (1, 2, 4, 8)
+GRID_LLC_MB = (2, 8, 16, 32)
+DURATION = 1.0
+
+
+def grid_config(cores=4, llc_mb=8, **overrides):
+    base = dict(
+        workload="asdb", scale_factor=2000,
+        allocation=ResourceAllocation(logical_cores=cores, llc_mb=llc_mb),
+        duration=DURATION, seed=0,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def training_grid():
+    return [grid_config(cores=c, llc_mb=l)
+            for c in GRID_CORES for l in GRID_LLC_MB]
+
+
+@pytest.fixture(scope="session")
+def seeded_cache(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("surrogate-cache"))
+    report = run_supervised(training_grid(), cache=cache)
+    assert not report.failures
+    return cache
+
+
+@pytest.fixture(scope="session")
+def corpus(seeded_cache):
+    return harvest(seeded_cache)
+
+
+@pytest.fixture(scope="session")
+def model(corpus):
+    return SurrogateModel().fit(corpus)

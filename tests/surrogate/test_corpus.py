@@ -1,0 +1,109 @@
+"""Corpus harvesting: what gets in, what is skipped, and roundtrips."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.core.resultcache import ResultCache
+from repro.errors import ConfigurationError
+from repro.surrogate.corpus import (
+    CORPUS_FORMAT_VERSION,
+    Corpus,
+    TARGET_NAMES,
+    harvest,
+    targets_for_measurement,
+)
+from repro.surrogate.model import Prediction
+from repro.surrogate.planner import predicted_measurement
+from tests.surrogate.conftest import grid_config, training_grid
+
+
+class TestHarvest:
+    def test_every_clean_entry_harvested(self, seeded_cache, corpus):
+        assert len(corpus) == len(training_grid())
+        assert corpus.stats.scanned == len(training_grid())
+        assert corpus.stats.skipped_faulted == 0
+        assert corpus.stats.skipped_predicted == 0
+
+    def test_sorted_by_digest(self, corpus):
+        digests = [entry.digest for entry in corpus.entries]
+        assert digests == sorted(digests)
+
+    def test_targets_match_measurement(self, seeded_cache):
+        digest, measurement = next(seeded_cache.iter_entries())
+        entry = next(e for e in harvest(seeded_cache).entries
+                     if e.digest == digest)
+        assert entry.targets == tuple(
+            targets_for_measurement(measurement).tolist())
+
+    def test_faulted_entries_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        clean_config = grid_config(seed=1)
+        cache.put(clean_config, Experiment(clean_config).run())
+        faulted_config = grid_config(seed=2)
+        faulted = dataclasses.replace(
+            Experiment(faulted_config).run(),
+            fault_summary={"crash_recoveries": 1.0},
+        )
+        cache.put(faulted_config, faulted)
+        corpus = harvest(cache)
+        assert len(corpus) == 1
+        assert corpus.stats.skipped_faulted == 1
+        assert len(harvest(cache, include_faulted=True)) == 2
+
+    def test_predicted_entries_never_trained_on(self, tmp_path):
+        """Even if a predicted measurement somehow reached the cache, the
+        harvest must refuse it — no model trains on its own output."""
+        cache = ResultCache(tmp_path / "cache")
+        config = grid_config(seed=3)
+        cache.put(config, Experiment(config).run())
+        poisoned_config = grid_config(seed=4)
+        prediction = Prediction(
+            targets={name: 10.0 for name in TARGET_NAMES}, uncertainty=0.1)
+        cache.put(poisoned_config,
+                  predicted_measurement(poisoned_config, prediction))
+        corpus = harvest(cache)
+        assert len(corpus) == 1
+        assert corpus.stats.skipped_predicted == 1
+
+    def test_quarantined_files_counted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = grid_config(seed=5)
+        cache.put(config, Experiment(config).run())
+        (cache.directory / ".corrupt-deadbeef").write_bytes(b"junk")
+        corpus = harvest(cache)
+        assert len(corpus) == 1
+        assert corpus.stats.quarantined == 1
+
+
+class TestSerialization:
+    def test_roundtrip_is_exact(self, corpus, tmp_path):
+        path = corpus.save(tmp_path / "corpus.jsonl")
+        loaded = Corpus.load(path)
+        assert loaded.entries == corpus.entries
+        assert (loaded.feature_matrix().tobytes()
+                == corpus.feature_matrix().tobytes())
+        assert (loaded.target_matrix().tobytes()
+                == corpus.target_matrix().tobytes())
+
+    def test_rejects_other_format_versions(self, corpus, tmp_path):
+        path = corpus.save(tmp_path / "corpus.jsonl")
+        text = path.read_text()
+        path.write_text(text.replace(
+            f'"corpus_format": {CORPUS_FORMAT_VERSION}',
+            f'"corpus_format": {CORPUS_FORMAT_VERSION + 1}', 1))
+        with pytest.raises(ConfigurationError):
+            Corpus.load(path)
+
+    def test_rejects_foreign_feature_schema(self, corpus, tmp_path):
+        path = corpus.save(tmp_path / "corpus.jsonl")
+        path.write_text(path.read_text().replace("llc_mb", "llc_ways"))
+        with pytest.raises(ConfigurationError):
+            Corpus.load(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError):
+            Corpus.load(empty)

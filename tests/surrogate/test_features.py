@@ -1,0 +1,75 @@
+"""Feature extraction: deterministic, and identical from either side
+(config in hand vs measurement recovered from the cache)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.surrogate.features import (
+    FEATURE_NAMES,
+    features_for_config,
+    features_for_measurement,
+    knee_adjacent_llc_mb,
+)
+from tests.surrogate.conftest import grid_config
+
+
+class TestDeterminism:
+    def test_repeated_extraction_is_bit_identical(self):
+        config = grid_config()
+        first = features_for_config(config)
+        second = features_for_config(config)
+        assert first.tobytes() == second.tobytes()
+
+    def test_vector_matches_schema(self):
+        vector = features_for_config(grid_config())
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert vector.dtype == np.float64
+        assert np.isfinite(vector).all()
+
+    def test_knob_changes_move_the_vector(self):
+        base = features_for_config(grid_config())
+        for other in (grid_config(cores=8), grid_config(llc_mb=16),
+                      grid_config(workload="tpch", scale_factor=10)):
+            assert not np.array_equal(base, features_for_config(other))
+
+
+class TestConfigMeasurementParity:
+    """The harvest path and the serve path must agree byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = grid_config(cores=2, llc_mb=8)
+        return config, Experiment(config).run()
+
+    def test_parity(self, run):
+        config, measurement = run
+        assert (features_for_config(config).tobytes()
+                == features_for_measurement(measurement).tobytes())
+
+    def test_routed_labels_agree(self, run):
+        config, measurement = run
+        routed_config = dataclasses.replace(config, router="rule-based")
+        routed_measurement = dataclasses.replace(
+            measurement, backend="router:rule-based")
+        assert (features_for_config(routed_config).tobytes()
+                == features_for_measurement(routed_measurement).tobytes())
+
+    def test_unknown_backend_label_does_not_raise(self, run):
+        _, measurement = run
+        relabeled = dataclasses.replace(measurement, backend="from-the-future")
+        vector = features_for_measurement(relabeled)
+        assert np.isfinite(vector).all()
+
+
+class TestKneeAdjacency:
+    def test_grid_granularity(self):
+        sizes = knee_adjacent_llc_mb("asdb", 2000)
+        assert sizes == tuple(sorted(sizes))
+        assert all(s >= 2 and s % 2 == 0 for s in sizes)
+
+    def test_deterministic(self):
+        assert (knee_adjacent_llc_mb("tpce", 5000)
+                == knee_adjacent_llc_mb("tpce", 5000))

@@ -1,0 +1,107 @@
+"""Surrogate model: determinism across job counts, accuracy, roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.core.resultcache import ResultCache
+from repro.core.runner import run_supervised
+from repro.errors import ConfigurationError
+from repro.surrogate import Corpus, SurrogateModel, harvest, q_error
+from repro.surrogate.features import features_for_config
+from tests.surrogate.conftest import grid_config
+
+
+class TestQError:
+    def test_symmetric_and_floored_at_one(self):
+        assert q_error(2.0, 1.0) == q_error(1.0, 2.0) == 2.0
+        assert q_error(5.0, 5.0) == 1.0
+
+    def test_zero_actual_does_not_divide_by_zero(self):
+        assert np.isfinite(q_error(1.0, 0.0))
+
+
+class TestDeterminism:
+    def test_refit_is_bit_identical(self, corpus):
+        first = SurrogateModel().fit(corpus)
+        second = SurrogateModel().fit(corpus)
+        assert first._theta.tobytes() == second._theta.tobytes()
+
+    def test_scan_order_does_not_matter(self, corpus):
+        reversed_corpus = Corpus(entries=list(reversed(corpus.entries)))
+        straight = SurrogateModel().fit(corpus)
+        shuffled = SurrogateModel().fit(reversed_corpus)
+        assert straight._theta.tobytes() == shuffled._theta.tobytes()
+        query = features_for_config(grid_config(cores=2, llc_mb=12))
+        assert (straight.predict(query).targets
+                == shuffled.predict(query).targets)
+
+    def test_jobs_1_and_jobs_4_train_the_same_model(self, tmp_path):
+        """The PR's parity claim end to end: two caches filled by the
+        same grid at different job counts yield bit-identical corpora,
+        coefficients, and predictions."""
+        grid = [grid_config(cores=c, llc_mb=l)
+                for c in (1, 4) for l in (2, 8, 24)]
+        models = []
+        for jobs in (1, 4):
+            cache = ResultCache(tmp_path / f"jobs{jobs}")
+            report = run_supervised(grid, jobs=jobs, cache=cache)
+            assert not report.failures
+            models.append(SurrogateModel().fit(harvest(cache)))
+        serial, parallel = models
+        assert serial._theta.tobytes() == parallel._theta.tobytes()
+        assert serial._train_x.tobytes() == parallel._train_x.tobytes()
+        query = features_for_config(grid_config(cores=2, llc_mb=12))
+        assert serial.predict(query).targets == parallel.predict(query).targets
+
+
+class TestAccuracy:
+    def test_loo_q_error_within_budget(self, model, corpus):
+        report = model.q_error_report(corpus)
+        assert report["overall"]["median"] <= 1.15
+        assert all(stats["median"] >= 1.0 for stats in report.values())
+
+    def test_uncertainty_grows_off_corpus(self, model):
+        near = model.predict(features_for_config(grid_config(cores=2,
+                                                             llc_mb=8)))
+        far = model.predict(features_for_config(
+            grid_config(workload="tpch", scale_factor=300, cores=32,
+                        llc_mb=40, duration=100.0)))
+        assert far.uncertainty > near.uncertainty
+
+    def test_extreme_extrapolation_stays_finite(self, model):
+        prediction = model.predict(features_for_config(
+            grid_config(workload="tpce", scale_factor=15000,
+                        duration=100000.0)))
+        assert all(np.isfinite(v) for v in prediction.targets.values())
+
+
+class TestLifecycle:
+    def test_too_small_corpus_rejected(self, corpus):
+        with pytest.raises(ConfigurationError):
+            SurrogateModel().fit(Corpus(entries=corpus.entries[:1]))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SurrogateModel().predict(np.zeros(1))
+
+    def test_save_load_roundtrip_predicts_identically(self, model, tmp_path):
+        path = model.save(tmp_path / "model.json")
+        loaded = SurrogateModel.load(path)
+        query = features_for_config(grid_config(cores=8, llc_mb=12))
+        assert loaded.predict(query).targets == model.predict(query).targets
+        assert loaded.predict(query).uncertainty == pytest.approx(
+            model.predict(query).uncertainty)
+
+    def test_load_rejects_foreign_schema(self, model, tmp_path):
+        path = model.save(tmp_path / "model.json")
+        path.write_text(path.read_text().replace("llc_mb", "llc_ways"))
+        with pytest.raises(ConfigurationError):
+            SurrogateModel.load(path)
+
+    def test_coefficient_report_covers_every_feature(self, model):
+        from repro.surrogate.features import FEATURE_NAMES
+
+        report = model.coefficient_report()
+        assert sorted(name for name, _ in report) == sorted(FEATURE_NAMES)
+        weights = [weight for _, weight in report]
+        assert weights == sorted(weights, reverse=True)

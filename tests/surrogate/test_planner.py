@@ -1,0 +1,134 @@
+"""Adaptive sweeps: planning, provenance, the no-cache invariant, and
+journal resume."""
+
+import pytest
+
+from repro.core.journal import SweepJournal
+from repro.core.measurement import SOURCE_PREDICTED, SOURCE_SIMULATED
+from repro.core.resultcache import ResultCache
+from repro.errors import ConfigurationError
+from repro.surrogate.corpus import TARGET_NAMES
+from repro.surrogate.model import Prediction
+from repro.surrogate.planner import (
+    plan_adaptive_sweep,
+    predicted_measurement,
+    run_adaptive_sweep,
+)
+from tests.surrogate.conftest import grid_config
+
+
+def target_grid():
+    return [grid_config(cores=c, llc_mb=l)
+            for c in (2, 8) for l in (4, 12, 20, 36)]
+
+
+class TestPlanning:
+    def test_partition_and_budget(self, model):
+        grid = target_grid()
+        plan, predictions = plan_adaptive_sweep(grid, model)
+        assert sorted(plan.simulate + plan.predict) == list(range(len(grid)))
+        assert len(plan.simulate) <= plan.budget
+        assert len(predictions) == len(grid)
+
+    def test_anchors_always_simulated(self, model):
+        plan, _ = plan_adaptive_sweep(target_grid(), model)
+        assert 0 in plan.simulate
+        assert len(target_grid()) - 1 in plan.simulate
+        assert plan.reasons[0] == "anchor"
+
+    def test_plan_is_deterministic(self, model):
+        first, _ = plan_adaptive_sweep(target_grid(), model)
+        second, _ = plan_adaptive_sweep(target_grid(), model)
+        assert first == second
+
+    def test_budget_fraction_validated(self, model):
+        with pytest.raises(ConfigurationError):
+            plan_adaptive_sweep(target_grid(), model, budget_fraction=0.0)
+
+    def test_empty_grid(self, model):
+        plan, predictions = plan_adaptive_sweep([], model)
+        assert plan.simulate == plan.predict == ()
+        assert predictions == []
+
+
+class TestPredictedMeasurement:
+    def test_derived_observables_reproduce_targets(self):
+        config = grid_config()
+        targets = {"primary_metric": 123.0, "mpki_model": 7.5,
+                   "ssd_read_mb": 40.0, "ssd_write_mb": 4.0,
+                   "dram_read_mb": 900.0, "dram_write_mb": 90.0}
+        assert set(targets) == set(TARGET_NAMES)
+        measurement = predicted_measurement(
+            config, Prediction(targets=targets, uncertainty=0.2))
+        assert measurement.source == SOURCE_PREDICTED
+        assert measurement.is_predicted
+        assert measurement.predicted_uncertainty == 0.2
+        assert measurement.primary_metric == 123.0
+        assert measurement.mpki == pytest.approx(7.5)
+        assert measurement.ssd_read_mb == pytest.approx(40.0)
+        assert measurement.dram_write_mb == pytest.approx(90.0)
+
+
+class TestAdaptiveSweep:
+    def test_dense_results_with_provenance(self, model, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_adaptive_sweep(target_grid(), model, cache=cache)
+        assert len(result.measurements) == len(target_grid())
+        for index, measurement in enumerate(result.measurements):
+            expected = (SOURCE_PREDICTED if index in result.plan.predict
+                        else SOURCE_SIMULATED)
+            assert measurement.source == expected
+
+    def test_predicted_points_never_cached(self, model, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = target_grid()
+        result = run_adaptive_sweep(grid, model, cache=cache)
+        for index in result.plan.predict:
+            assert cache.get(grid[index]) is None
+        for index in result.plan.simulate:
+            assert cache.get(grid[index]) is not None
+
+    def test_journal_records_predicted_provenance(self, model, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_adaptive_sweep(target_grid(), model, cache=cache)
+        journal = SweepJournal(cache.directory / "sweep-journal.jsonl")
+        notes = journal.events("surrogate")
+        assert {n["index"] for n in notes} == set(result.plan.predict)
+        for note in notes:
+            assert note["source"] == SOURCE_PREDICTED
+            assert note["uncertainty"] > 0
+            assert note["digest"]
+
+    def test_resume_serves_simulated_from_cache_and_renotes(self, model,
+                                                            tmp_path):
+        """An interrupted-and-rerun adaptive sweep must reproduce the
+        first run exactly: simulated points from the cache, predictions
+        re-derived, and the journal's surrogate notes replay-matched."""
+        cache = ResultCache(tmp_path / "cache")
+        grid = target_grid()
+        first = run_adaptive_sweep(grid, model, cache=cache)
+        second = run_adaptive_sweep(grid, model, cache=cache)
+        assert second.cache_hits == len(second.plan.simulate)
+        assert second.plan == first.plan
+        for a, b in zip(first.measurements, second.measurements):
+            assert a.primary_metric == b.primary_metric
+            assert a.source == b.source
+            assert a.predicted_uncertainty == b.predicted_uncertainty
+        notes = SweepJournal(
+            cache.directory / "sweep-journal.jsonl").events("surrogate")
+        assert len(notes) == 2 * len(first.plan.predict)
+        half = len(notes) // 2
+        strip = lambda n: {k: v for k, v in n.items() if k != "at"}
+        assert ([strip(n) for n in notes[:half]]
+                == [strip(n) for n in notes[half:]])
+
+    def test_failed_simulated_point_raises(self, model):
+        from repro.core.runner import SupervisionPolicy
+        from repro.faults import WorkerCrash
+
+        grid = target_grid()
+        grid[0] = grid_config(cores=2, llc_mb=4,
+                              faults=(WorkerCrash(attempts=99),))
+        policy = SupervisionPolicy(retries=0, on_error="skip")
+        with pytest.raises(ConfigurationError):
+            run_adaptive_sweep(grid, model, policy=policy)

@@ -1,0 +1,111 @@
+"""What-if serving: resolution order, provenance, fallback, async path."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.surrogate.serve import (
+    SOURCE_CACHE,
+    SOURCE_SIMULATED,
+    SOURCE_SURROGATE,
+    WhatIfServer,
+)
+from tests.surrogate.conftest import grid_config
+
+
+class TestResolutionOrder:
+    def test_exact_cached_point_comes_from_cache(self, model, seeded_cache):
+        server = WhatIfServer(model=model, cache=seeded_cache)
+        answer = server.answer(grid_config(cores=2, llc_mb=8))
+        assert answer.source == SOURCE_CACHE
+        assert answer.uncertainty is None
+
+    def test_confident_prediction_comes_from_surrogate(self, model,
+                                                       seeded_cache):
+        server = WhatIfServer(model=model, cache=seeded_cache,
+                              uncertainty_threshold=10.0)
+        answer = server.answer(grid_config(cores=2, llc_mb=12))
+        assert answer.source == SOURCE_SURROGATE
+        assert answer.uncertainty is not None
+        assert answer.primary_metric > 0
+
+    def test_uncertain_prediction_falls_to_simulation(self, model, tmp_path):
+        from repro.core.resultcache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        server = WhatIfServer(model=model, cache=cache,
+                              uncertainty_threshold=0.0)
+        config = grid_config(cores=2, llc_mb=12)
+        answer = server.answer(config)
+        assert answer.source == SOURCE_SIMULATED
+        # ...and the fallback's truth is cached for next time.
+        assert cache.get(config) is not None
+        assert server.answer(config).source == SOURCE_CACHE
+
+    def test_cache_wins_over_surrogate(self, model, seeded_cache):
+        server = WhatIfServer(model=model, cache=seeded_cache,
+                              uncertainty_threshold=10.0)
+        answer = server.answer(grid_config(cores=2, llc_mb=8))
+        assert answer.source == SOURCE_CACHE
+
+    def test_no_simulation_prefers_uncertain_surrogate(self, model):
+        server = WhatIfServer(model=model, uncertainty_threshold=0.0,
+                              allow_simulation=False)
+        answer = server.answer(grid_config(cores=2, llc_mb=12))
+        assert answer.source == SOURCE_SURROGATE
+
+    def test_unanswerable_query_refused(self, seeded_cache):
+        server = WhatIfServer(cache=seeded_cache, allow_simulation=False)
+        with pytest.raises(ConfigurationError):
+            server.answer(grid_config(cores=2, llc_mb=12))
+        assert server.stats.refused == 1
+
+    def test_nothing_to_answer_from_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            WhatIfServer(allow_simulation=False)
+
+
+class TestStatsAndLatency:
+    def test_per_source_tally(self, model, seeded_cache):
+        server = WhatIfServer(model=model, cache=seeded_cache,
+                              uncertainty_threshold=10.0)
+        server.answer_many([
+            grid_config(cores=2, llc_mb=8),     # cache
+            grid_config(cores=2, llc_mb=12),    # surrogate
+            grid_config(cores=4, llc_mb=8),     # cache
+        ])
+        assert server.stats.cache == 2
+        assert server.stats.surrogate == 1
+        assert server.stats.simulated == 0
+        assert len(server.stats.latencies[SOURCE_CACHE]) == 2
+
+    def test_answers_carry_latency(self, model, seeded_cache):
+        server = WhatIfServer(model=model, cache=seeded_cache)
+        answer = server.answer(grid_config(cores=2, llc_mb=8))
+        assert answer.latency_seconds > 0
+        assert "cache" in answer.describe()
+
+
+class TestAsync:
+    def test_results_in_input_order(self, model, seeded_cache):
+        server = WhatIfServer(model=model, cache=seeded_cache,
+                              uncertainty_threshold=10.0)
+        configs = [
+            grid_config(cores=2, llc_mb=8),
+            grid_config(cores=2, llc_mb=12),
+            grid_config(cores=8, llc_mb=32),
+        ]
+        answers = asyncio.run(server.answer_many_async(configs))
+        assert [a.config for a in answers] == configs
+        assert answers[0].source == SOURCE_CACHE
+        assert answers[1].source == SOURCE_SURROGATE
+        assert answers[2].source == SOURCE_CACHE
+
+    def test_async_matches_sync(self, model, seeded_cache):
+        config = grid_config(cores=4, llc_mb=16)
+        server = WhatIfServer(model=model, cache=seeded_cache)
+        sync_answer = server.answer(config)
+        async_answer = asyncio.run(server.answer_async(config))
+        assert async_answer.source == sync_answer.source
+        assert async_answer.targets == sync_answer.targets
