@@ -1,0 +1,192 @@
+"""Fleet SLO bench: tail latency vs fleet size, autoscaler reaction.
+
+Measures the two perf claims of the fleet-traffic subsystem and emits
+one JSON document (written to ``BENCH_fleet_slo.json`` at the repo
+root):
+
+* ``fleet_size`` — the same diurnal offered load (fixed total tps)
+  spread over 1 -> 16 shards.  Per size: p50/p99/p999, shed fraction,
+  and the simulation wall cost.  The claim is capacity, not magic:
+  sheds fall monotonically as shards are added, and the saturated
+  single-shard point sheds hardest;
+* ``reaction`` — a flash crowd against a small autoscaling fleet vs the
+  same trace against a static one.  Reports the autoscaler's reaction
+  time (overload onset to new capacity *ready*, cold start included)
+  and the shed reduction bought by scaling.
+
+Honesty caveats, also embedded in the JSON: every shard runs on the
+*simulated* cluster's shared clock inside one OS process, so wall
+times measure simulator overhead, not engine parallelism — a 16-shard
+fleet costs ~16x the events of one shard on a single core.  Simulated
+quantities (latencies, sheds, reaction seconds) are deterministic and
+machine-independent; wall seconds are machine-dependent.
+
+Thresholds live in :func:`check_report`; ``check_perf_smoke.py
+--fleet-slo`` re-applies them in CI.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.fleet.autoscale import AutoscalePolicy
+from repro.fleet.cluster import FleetSpec, default_tenants, run_fleet
+from repro.workloads.arrivals import ArrivalSpec
+
+try:
+    from benchmarks.bench_runner_scaling import effective_cores
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from bench_runner_scaling import effective_cores
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fleet sizes for the tail-vs-size curve (1 -> 16 shards).
+FLEET_SIZES = (1, 2, 4, 8, 16)
+
+#: Total offered load held fixed across fleet sizes: one shard is
+#: saturated, sixteen are comfortable.
+OFFERED_TPS = 600.0
+
+#: Deliberately small admission bound so the single-shard point
+#: saturates at OFFERED_TPS without inflating the event volume (and
+#: the bench wall time) by an order of magnitude.
+CAPACITY_PER_SHARD = 8
+
+#: Simulated seconds per point (wall cost scales with this and with
+#: OFFERED_TPS x shards' event volume).
+DURATION = 4.0
+
+
+def _size_spec(shards, duration):
+    return FleetSpec(
+        shards=shards,
+        duration=duration,
+        seed=0,
+        arrival=ArrivalSpec(offered_tps=OFFERED_TPS, trace="diurnal"),
+        tenants=default_tenants(4),
+        capacity_per_shard=CAPACITY_PER_SHARD,
+    )
+
+
+def bench_fleet_size(duration=DURATION):
+    points = []
+    for shards in FLEET_SIZES:
+        start = time.perf_counter()
+        report = run_fleet(_size_spec(shards, duration))
+        wall = time.perf_counter() - start
+        points.append({
+            "shards": shards,
+            "arrivals": report.arrivals,
+            "completed": report.completed,
+            "shed_fraction": round(report.shed / report.arrivals, 4)
+            if report.arrivals else 0.0,
+            "p50_ms": round(report.p50_ms, 3),
+            "p99_ms": round(report.p99_ms, 3),
+            "p999_ms": round(report.p999_ms, 3),
+            "wall_seconds": round(wall, 3),
+        })
+    return {
+        "offered_tps": OFFERED_TPS,
+        "trace": "diurnal",
+        "duration": duration,
+        "points": points,
+    }
+
+
+def bench_reaction(duration=10.0):
+    arrival = ArrivalSpec(offered_tps=300.0, trace="flash-crowd",
+                          flash_at=0.4, flash_magnitude=8.0, flash_width=0.3)
+    static_spec = FleetSpec(shards=2, duration=duration, seed=0,
+                            arrival=arrival, tenants=default_tenants(4))
+    policy = AutoscalePolicy(min_shards=2, max_shards=8, cooldown_s=2.0)
+    scaled_spec = FleetSpec(shards=2, duration=duration, seed=0,
+                            arrival=arrival, tenants=default_tenants(4),
+                            autoscale=policy)
+    static = run_fleet(static_spec)
+    scaled = run_fleet(scaled_spec)
+    return {
+        "trace": "flash-crowd",
+        "duration": duration,
+        "static_sheds": static.shed,
+        "autoscaled_sheds": scaled.shed,
+        "shed_reduction": round(1.0 - scaled.shed / static.shed, 4)
+        if static.shed else 0.0,
+        "scale_outs": scaled.scaling["scale_outs"],
+        "scale_ins": scaled.scaling["scale_ins"],
+        "shards_peak": scaled.shards_peak,
+        "reaction_seconds": scaled.reaction_seconds,
+        "cold_start_seconds": policy.cold_start_s,
+        "static_p99_ms": round(static.p99_ms, 3),
+        "autoscaled_p99_ms": round(scaled.p99_ms, 3),
+    }
+
+
+def run_fleet_slo_study(duration_scale=1.0):
+    return {
+        "bench": "fleet_slo",
+        "effective_cores": effective_cores(),
+        "caveats": [
+            "all shards share one simulated clock in one OS process: "
+            "wall seconds measure simulator overhead on one core, not "
+            "engine parallelism",
+            "simulated latencies/sheds/reaction are deterministic and "
+            "machine-independent; wall seconds are not",
+        ],
+        "fleet_size": bench_fleet_size(duration=DURATION * duration_scale),
+        "reaction": bench_reaction(duration=10.0 * max(duration_scale, 0.5)),
+    }
+
+
+def check_report(report):
+    """Acceptance bars for the fleet subsystem (the PR's perf claim)."""
+    points = report["fleet_size"]["points"]
+    sheds = [p["shed_fraction"] for p in points]
+    assert sheds[0] > 0.0, (
+        "single-shard point did not saturate: the size curve is "
+        "measuring nothing"
+    )
+    assert all(late <= early + 0.02 for early, late in zip(sheds, sheds[1:])), (
+        f"shed fraction not monotone non-increasing with fleet size: {sheds}"
+    )
+    assert sheds[-1] < sheds[0] / 2, (
+        f"16 shards shed {sheds[-1]}, not under half of one shard's "
+        f"{sheds[0]}: added capacity absorbed too little"
+    )
+    for p in points:
+        assert p["p999_ms"] == p["p999_ms"], (  # NaN check
+            f"{p['shards']} shards: no p999 (no completions?)"
+        )
+    reaction = report["reaction"]
+    assert reaction["scale_outs"] >= 1, "autoscaler never scaled out"
+    assert reaction["reaction_seconds"] is not None, (
+        "no reaction time recorded despite scale-outs"
+    )
+    assert reaction["reaction_seconds"] <= 4.0, (
+        f"reaction {reaction['reaction_seconds']}s exceeds the 4s bound "
+        f"(interval + cooldown + cold start)"
+    )
+    assert reaction["autoscaled_sheds"] < reaction["static_sheds"], (
+        f"autoscaling shed {reaction['autoscaled_sheds']} vs static "
+        f"{reaction['static_sheds']}: scaling bought nothing"
+    )
+
+
+def test_fleet_slo(benchmark, emit, duration_scale):
+    report = benchmark.pedantic(run_fleet_slo_study, rounds=1, iterations=1,
+                                kwargs={"duration_scale": duration_scale})
+    check_report(report)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    (_REPO_ROOT / "BENCH_fleet_slo.json").write_text(payload + "\n")
+    emit("Fleet SLO — tail vs fleet size / autoscaler reaction", payload)
+
+
+def main():
+    report = run_fleet_slo_study()
+    check_report(report)
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    (_REPO_ROOT / "BENCH_fleet_slo.json").write_text(payload + "\n")
+    print(payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,8 +30,14 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 try:
-    from benchmarks import bench_runner_scaling, bench_sim_kernel, bench_whatif
+    from benchmarks import (
+        bench_fleet_slo,
+        bench_runner_scaling,
+        bench_sim_kernel,
+        bench_whatif,
+    )
 except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    import bench_fleet_slo
     import bench_runner_scaling
     import bench_sim_kernel
     import bench_whatif
@@ -75,6 +81,12 @@ def main(argv=None):
         help="also gate a fresh BENCH_whatif.json (adaptive speedup, "
         "Q-error, serve latency); omit to skip",
     )
+    parser.add_argument(
+        "--fleet-slo", nargs="?", const=_REPO_ROOT / "BENCH_fleet_slo.json",
+        default=None, metavar="PATH",
+        help="also gate a fresh BENCH_fleet_slo.json (shed monotonicity "
+        "vs fleet size, autoscaler reaction bound); omit to skip",
+    )
     args = parser.parse_args(argv)
 
     scaling = json.loads(Path(args.scaling).read_text())
@@ -113,6 +125,13 @@ def main(argv=None):
               f"{whatif['adaptive']['predicted_q_error_median']} "
               f"(ceiling 1.15), serve p99 {whatif['serve']['p99_ms']}ms "
               f"(limit 50ms)")
+    if args.fleet_slo:
+        fleet = json.loads(Path(args.fleet_slo).read_text())
+        bench_fleet_slo.check_report(fleet)
+        reaction = fleet["reaction"]
+        print(f"perf-smoke: fleet reaction "
+              f"{reaction['reaction_seconds']}s (bound 4s), shed "
+              f"reduction {reaction['shed_reduction']:.0%} over static")
     print("perf-smoke: OK")
     return 0
 

@@ -367,6 +367,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append schedule/episode/failover/report events "
                        "to this JSONL journal")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="drive open-loop traffic through a sharded multi-tenant fleet",
+        description="Builds a sharded cluster of engine personalities on "
+        "one simulated clock, feeds it an open-loop arrival trace "
+        "(diurnal / MMPP burst / flash-crowd) attributed to weighted, "
+        "prioritized tenants, and sweeps oversubscription while checking "
+        "the graceful-degradation contract: every most-protected tenant's "
+        "p99 stays inside its SLO at every load level, per-tenant goodput "
+        "degrades monotonically, and sheds land on low-priority traffic "
+        "first.  Optionally autoscales (queue/grant-wait/shed signals, "
+        "serverless cold-start cost) and composes with seeded chaos "
+        "schedules.  Exits 1 if any contract is violated.",
+    )
+    from repro.workloads.arrivals import TRACE_KINDS
+
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="initial shard count (default: 2)")
+    fleet.add_argument("--tenants", type=int, default=4,
+                       help="tenant count; priorities cycle 0/1/2 "
+                       "(default: 4)")
+    fleet.add_argument("--trace", choices=TRACE_KINDS, default="diurnal",
+                       help="arrival trace shape (default: diurnal)")
+    fleet.add_argument("--offered-tps", type=float, default=300.0,
+                       help="base offered rate before oversubscription "
+                       "(default: 300)")
+    fleet.add_argument("--oversub", default="1,4,16", metavar="F1,F2,...",
+                       help="oversubscription multipliers (default: 1,4,16)")
+    fleet.add_argument("--duration", type=float, default=6.0,
+                       help="simulated seconds per point (default: 6)")
+    fleet.add_argument("--capacity", type=int, default=32,
+                       help="concurrent transactions per shard (default: 32)")
+    fleet.add_argument("--slo-ms", type=float, default=250.0,
+                       help="per-tenant p99 SLO in ms (default: 250)")
+    fleet.add_argument("--replication", type=int, default=1,
+                       help="replicas per shard (default: 1)")
+    fleet.add_argument("--autoscale", action="store_true",
+                       help="enable the deterministic autoscaler")
+    fleet.add_argument("--max-shards", type=int, default=16,
+                       help="autoscaler ceiling (default: 16)")
+    fleet.add_argument("--chaos", default=None, metavar="SCENARIO",
+                       help="compose a seeded chaos schedule of this "
+                       "scenario into every point")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--jobs", type=_job_count, default=1,
+                       help="sweep points simulated in parallel")
+    fleet.add_argument("--journal", default=None, metavar="PATH",
+                       help="append fleet-traffic events (spec digest + "
+                       "full report) for resume")
+
     sub.add_parser(
         "backends", help="list engine personalities and their profiles"
     )
@@ -558,6 +608,8 @@ def _cmd_sweep(args) -> int:
             "perf": [m.primary_metric for m in measurements],
             "mpki": [m.mpki_model for m in measurements],
             "ssd_rd_MB/s": [m.ssd_read_mb for m in measurements],
+            "p99_ms": [m.p99_latency_ms for m in measurements],
+            "p999_ms": [m.p999_latency_ms for m in measurements],
         },
         title=f"{args.workload} SF={args.scale_factor}: {args.axis} sweep",
     ))
@@ -1032,6 +1084,103 @@ def _cmd_chaos(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_fleet(args) -> int:
+    """Fleet-traffic sweep with the graceful-degradation contract.
+
+    Output is line-oriented and greppable on purpose — the CI SLO
+    matrix asserts on ``fleet-complete:``, ``slo-invariant:``,
+    ``monotone-degradation:``, and ``shed-fairness:`` markers.
+    """
+    from repro.engine.statistics import dm_fleet_slo
+    from repro.fleet.autoscale import AutoscalePolicy
+    from repro.fleet.cluster import (
+        FleetSpec,
+        default_tenants,
+        fleet_oversubscription_sweep,
+    )
+    from repro.workloads.arrivals import ArrivalSpec
+
+    try:
+        levels = tuple(float(x) for x in args.oversub.split(",") if x.strip())
+    except ValueError:
+        print(f"invalid --oversub list: {args.oversub!r}", file=sys.stderr)
+        return 2
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(min_shards=args.shards,
+                                    max_shards=args.max_shards,
+                                    cooldown_s=2.0)
+    spec = FleetSpec(
+        shards=args.shards,
+        duration=args.duration,
+        seed=args.seed,
+        arrival=ArrivalSpec(offered_tps=args.offered_tps, trace=args.trace),
+        tenants=default_tenants(args.tenants, slo_p99_ms=args.slo_ms),
+        capacity_per_shard=args.capacity,
+        replication=args.replication,
+        autoscale=autoscale,
+    )
+    schedule = ()
+    if args.chaos:
+        from repro.faults.chaos import SCENARIOS, generate_schedule
+
+        if args.chaos not in SCENARIOS:
+            print(f"unknown chaos scenario: {args.chaos!r} "
+                  f"(choose from {', '.join(sorted(SCENARIOS))})",
+                  file=sys.stderr)
+            return 2
+        kinds = SCENARIOS[args.chaos]
+        if kinds:
+            schedule = generate_schedule(
+                seed=args.seed, duration=args.duration, kinds=kinds,
+                replicas=args.shards, episodes=3,
+            )
+    sweep = fleet_oversubscription_sweep(
+        spec, oversubscription=levels, jobs=args.jobs,
+        journal=args.journal, schedule=schedule,
+    )
+    for oversub, report in zip(sweep.oversubscription, sweep.reports):
+        rows = [
+            (row.tenant, row.priority, row.arrivals, row.shed, row.governed,
+             f"{row.goodput_tps:.1f}", f"{row.p50_ms:.1f}",
+             f"{row.p99_ms:.1f}", f"{row.p999_ms:.1f}",
+             "ok" if row.slo_ok else "VIOLATED")
+            for row in dm_fleet_slo(report)
+        ]
+        print(format_table(
+            ["tenant", "prio", "arrivals", "shed", "governed", "tps",
+             "p50ms", "p99ms", "p999ms", "slo"],
+            rows,
+            title=f"{oversub:g}x oversubscription: "
+            f"{report.offered_tps:.0f} tps offered over {report.trace}, "
+            f"{report.shards_initial}->{report.shards_peak} shards",
+        ))
+        scaling = report.scaling
+        if scaling.get("decisions"):
+            print(f"  autoscaler: {scaling['scale_outs']} out / "
+                  f"{scaling['scale_ins']} in, reaction "
+                  f"{report.reaction_seconds:.3f}s"
+                  if report.reaction_seconds is not None else
+                  f"  autoscaler: {scaling['scale_outs']} out / "
+                  f"{scaling['scale_ins']} in")
+        for episode in report.episodes:
+            print(f"  chaos t={episode['at']:7.3f}s {episode['kind']:<9} "
+                  f"shard={episode['shard']}")
+    if sweep.resumed:
+        print(f"  resumed {sweep.resumed} point(s) from journal")
+    slo_ok = sweep.slo_invariant()
+    monotone = sweep.monotone_degradation()
+    fairness = sweep.shed_fairness()
+    for line in sweep.slo_violations():
+        print(f"slo-violation: {line}", file=sys.stderr)
+    print(f"fleet-complete: {len(sweep.reports)} points seed={args.seed} "
+          f"trace={args.trace}")
+    print(f"slo-invariant: {'ok' if slo_ok else 'VIOLATED'}")
+    print(f"monotone-degradation: {'ok' if monotone else 'VIOLATED'}")
+    print(f"shed-fairness: {'ok' if fairness else 'VIOLATED'}")
+    return 0 if (slo_ok and monotone and fairness) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -1041,6 +1190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "admission": _cmd_admission,
         "route": _cmd_route,
         "chaos": _cmd_chaos,
+        "fleet": _cmd_fleet,
         "backends": _cmd_backends,
         "corpus": _cmd_corpus,
         "whatif": _cmd_whatif,

@@ -28,8 +28,10 @@ from repro.faults.spec import FaultSpec, simulation_faults
 from repro.hardware.counters import CounterSampler
 from repro.hardware.machine import Machine, MachineSpec
 from repro.workloads import make_workload
+from repro.workloads.arrivals import ArrivalSpec, OpenLoopDriver
 from repro.workloads.base import ThroughputTracker, Workload
 from repro.workloads.htap import HtapWorkload
+from repro.workloads.oltp import OltpWorkloadBase
 from repro.workloads.tpch import TPCH_QUERIES, tpch_query
 
 
@@ -49,6 +51,13 @@ class ExperimentConfig:
     multi-backend fleet under the named placement policy, over
     ``router_backends`` (the default fleet when empty).  Both are part
     of the result-cache key, so cross-backend runs can never collide.
+
+    ``arrival`` switches the run from closed-loop clients to an
+    open-loop arrival process
+    (:class:`~repro.workloads.arrivals.ArrivalSpec`).  Because it is a
+    config field it enters the result-cache digest, so open-loop points
+    cache and resume through the supervised runner like any other grid
+    point — and never alias the closed-loop run of the same allocation.
     """
 
     workload: str
@@ -62,6 +71,7 @@ class ExperimentConfig:
     backend: str = DEFAULT_BACKEND
     router: Optional[str] = None
     router_backends: Tuple[str, ...] = ()
+    arrival: Optional[ArrivalSpec] = None
 
     @property
     def routed(self) -> bool:
@@ -117,9 +127,24 @@ class Experiment:
             injector.install()
         tracker = ThroughputTracker()
         sampler = CounterSampler(machine.sim, engine)
-        workload.spawn_clients(engine, tracker, until=config.duration)
+        driver = None
+        if config.arrival is not None:
+            if not isinstance(workload, OltpWorkloadBase):
+                raise ConfigurationError(
+                    "open-loop arrivals need a transactional workload; "
+                    f"{config.workload!r} has no demand generator"
+                )
+            driver = OpenLoopDriver.from_spec(
+                workload, engine, config.arrival, config.duration,
+                tracker=tracker,
+            )
+            driver.start(until=config.duration)
+        else:
+            workload.spawn_clients(engine, tracker, until=config.duration)
         machine.sim.run(until=config.duration)
         sampler.stop()
+        if driver is not None:
+            driver.result.finalize(config.duration)
 
         plan_signatures = self._collect_plan_signatures(engine, workload)
         semaphore = engine.semaphore.summary()
@@ -158,6 +183,11 @@ class Experiment:
             router_decisions=dict(routing.get("router_decisions", {})),
             router_fallbacks=int(routing.get("router_fallbacks", 0)),
             router_reroutes=int(routing.get("router_reroutes", 0)),
+            offered_tps=(config.arrival.offered_tps
+                         if config.arrival is not None else 0.0),
+            arrival_sheds=(driver.result.dropped if driver is not None else 0),
+            sheds_by_tenant=(dict(driver.result.dropped_by_tenant)
+                             if driver is not None else {}),
         )
 
     def _collect_plan_signatures(

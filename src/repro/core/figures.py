@@ -160,6 +160,21 @@ class SweepSeries:
         return [m.mpki_model for m in self.measurements]
 
     @property
+    def p50_latency_ms(self) -> List[float]:
+        """Per-point median latency of the primary completion class."""
+        return [m.p50_latency_ms for m in self.measurements]
+
+    @property
+    def p99_latency_ms(self) -> List[float]:
+        return [m.p99_latency_ms for m in self.measurements]
+
+    @property
+    def p999_latency_ms(self) -> List[float]:
+        """The 1-in-1000 tail — p99 alone hides exactly the requests
+        fleet autoscaling and shedding exist to protect."""
+        return [m.p999_latency_ms for m in self.measurements]
+
+    @property
     def predicted_mask(self) -> List[bool]:
         """Per-point surrogate provenance: True where the measurement was
         predicted rather than simulated — plots mark these hollow."""

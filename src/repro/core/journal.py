@@ -11,10 +11,37 @@ resumed sweep
   attempt fails once, ever, not once per invocation), and
 * can report *why* the holes in a previous run's grid exist.
 
-Besides attempt records the journal carries *event* lines (no digest) —
-:meth:`SweepJournal.note` — used by the supervisor to record
-circuit-breaker transitions, so a post-mortem can line up concurrency
-changes against the attempt history.
+Besides attempt records the journal carries *event* lines —
+:meth:`SweepJournal.note` — free-form JSON keyed by an ``event`` kind.
+This table is the registry of every kind written anywhere in the repo
+(DESIGN.md mirrors it; add new kinds to both):
+
+===============  ==========================  =================================
+kind             writer                      payload highlights
+===============  ==========================  =================================
+breaker          core.runner supervisor      circuit-breaker transition,
+                                             concurrency before/after
+route            core.runner supervisor      router policy + per-backend
+                                             placement counts per point
+fleet            core.runner supervisor      failover/hedge counts a point
+                                             observed (digest-keyed)
+chaos            core.runner supervisor      canonical fault specs a faulted
+                                             point will replay under
+chaos-schedule   faults.chaos                seed, scenario, episode list
+chaos-episode    faults.chaos                one episode's kind/at/duration
+failover         faults.chaos                promotion epoch + window
+chaos-report     faults.chaos                invariant verdicts + digest
+surrogate        surrogate.planner           predicted points: source,
+                                             uncertainty, primary metric
+fleet-traffic    fleet.cluster sweeps        fleet point: spec digest +
+                                             full FleetReport payload
+                                             (replayed on resume)
+===============  ==========================  =================================
+
+Attempt records are digest-keyed and drive resume; event lines are
+observational — except ``fleet-traffic``, whose payload is complete
+enough that :func:`~repro.fleet.cluster.fleet_oversubscription_sweep`
+reconstructs finished points from it without re-simulating.
 
 The format is JSON-lines, append-only, and tolerant of torn tails (a
 killed run may leave a partial last line; it is dropped with a warning

@@ -75,6 +75,14 @@ class Measurement:
     #: Full fleet counter snapshot (ReplicaGroup.summary()), None outside
     #: chaos/fleet runs.
     fleet_summary: Optional[Dict[str, float]] = None
+    # -- open-loop arrival / fleet-SLO observables (repro.workloads
+    # -- .arrivals, repro.fleet.cluster); zero / empty for closed-loop
+    # -- runs, so the defaults keep seed measurements bit-identical.
+    offered_tps: float = 0.0            #: open-loop offered rate (0 = closed-loop)
+    arrival_sheds: int = 0              #: arrivals dropped at the admission bound
+    #: per-tenant shed counts (empty without declared tenants) — SLO
+    #: post-mortems need whose traffic was dropped, not just how much
+    sheds_by_tenant: Dict[str, int] = field(default_factory=dict)
     # -- surrogate provenance (repro.surrogate); every simulated run is
     # -- SOURCE_SIMULATED.  Predicted points are synthesized by the
     # -- adaptive planner / what-if server, carry the surrogate's
@@ -120,6 +128,32 @@ class Measurement:
     def query_latency(self, name: str, percentile: float = 50.0) -> float:
         """Latency percentile of one completion class (e.g. "Q20")."""
         return self.tracker.percentile_latency(name, percentile)
+
+    def tail_latency_ms(self, percentile: float) -> float:
+        """Latency percentile (ms) of the primary completion class.
+
+        The fleet story is about tails: p99 hides the 1-in-1000 requests
+        that autoscaling and shedding exist to protect, so p999 is a
+        first-class observable alongside p50/p99.  NaN when the run
+        recorded no completions (a fully-shed tenant, a failed point).
+        """
+        kind = "txn" if "txn" in self.tracker.latencies else "query"
+        cdf = self.tracker.latencies.get(kind)
+        if cdf is None or len(cdf) == 0:
+            return float("nan")
+        return cdf.percentile(percentile) * 1000.0
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.tail_latency_ms(50.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.tail_latency_ms(99.0)
+
+    @property
+    def p999_latency_ms(self) -> float:
+        return self.tail_latency_ms(99.9)
 
     def mean_query_latency(self, name: str) -> float:
         cdf = self.tracker.latencies.get(name)

@@ -50,7 +50,12 @@ log = logging.getLogger(__name__)
 #: config digests); v3 pickles lack the new attributes.
 #: v5: Measurement grew surrogate provenance (source,
 #: predicted_uncertainty); v4 pickles lack the new attributes.
-CACHE_FORMAT_VERSION = 5
+#: v6: Measurement grew open-loop / fleet-SLO observables (offered_tps,
+#: arrival_sheds, sheds_by_tenant) and ExperimentConfig grew the
+#: ``arrival`` spec (which enters the config digest — an open-loop point
+#: can never alias the closed-loop run of the same allocation); v5
+#: pickles lack the new attributes.
+CACHE_FORMAT_VERSION = 6
 
 #: Environment variable consulted for a default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -280,3 +280,57 @@ def pcm_snapshot(engine: SqlEngine) -> List[PerfCounterRow]:
         PerfCounterRow(counter=name, value=value)
         for name, value in sorted(engine.counter_totals().items())
     ]
+
+
+@dataclass(frozen=True)
+class FleetSloRow:
+    """One row of ``dm_fleet_slo``: a tenant's traffic outcome against
+    its purchased SLO."""
+
+    tenant: str
+    priority: int
+    arrivals: int
+    completed: int
+    shed: int
+    governed: int
+    goodput_tps: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    slo_p99_ms: float
+    slo_ok: bool
+    first_shed_at: float        #: NaN when the tenant never shed
+
+
+def dm_fleet_slo(report) -> List[FleetSloRow]:
+    """Per-tenant SLO attainment for a fleet-traffic run, most
+    protected class first.
+
+    Duck-typed over :class:`~repro.fleet.cluster.FleetReport` (needs
+    ``tenants`` mapping names to per-tenant stats) so this module stays
+    importable without the fleet package loaded.
+    """
+    rows = []
+    for name in sorted(report.tenants):
+        stats = report.tenants[name]
+        rows.append(
+            FleetSloRow(
+                tenant=stats.name,
+                priority=stats.priority,
+                arrivals=stats.arrivals,
+                completed=stats.completed,
+                shed=stats.shed,
+                governed=stats.governed,
+                goodput_tps=stats.goodput_tps,
+                p50_ms=stats.p50_ms,
+                p99_ms=stats.p99_ms,
+                p999_ms=stats.p999_ms,
+                slo_p99_ms=stats.slo_p99_ms,
+                slo_ok=stats.slo_ok,
+                first_shed_at=(stats.first_shed_at
+                               if stats.first_shed_at is not None
+                               else float("nan")),
+            )
+        )
+    rows.sort(key=lambda row: (row.priority, row.tenant))
+    return rows

@@ -15,12 +15,33 @@ replica browns out, partitions, or crashes:
   per-replica service times) driving automatic promotion;
 * :mod:`repro.fleet.hedging` — tail-tolerant reads: hedge after a
   p95-based delay, per-tenant retry-budget token buckets, and
-  brownout/queue-depth-aware shedding.
+  brownout/queue-depth-aware shedding;
+* :mod:`repro.fleet.cluster` — fleet-scale traffic: sharded multi-tenant
+  clusters fed by open-loop arrival traces, priority-aware load
+  shedding with the monotone-graceful-degradation contract, per-tenant
+  token-bucket governance, and oversubscription sweeps with tail-first
+  :class:`FleetReport` outputs;
+* :mod:`repro.fleet.autoscale` — the deterministic sim-clock autoscaler
+  (queue-depth / grant-wait / shed signals, serverless cold-start cost,
+  reaction-time accounting).
 
 The seeded chaos scheduler that exercises all of it lives in
-:mod:`repro.faults.chaos`.
+:mod:`repro.faults.chaos`, and its schedules compose with fleet-traffic
+runs (:func:`run_fleet` accepts a chaos schedule).
 """
 
+from repro.fleet.autoscale import Autoscaler, AutoscalePolicy, ScalingDecision
+from repro.fleet.cluster import (
+    FleetCluster,
+    FleetReport,
+    FleetSpec,
+    FleetSweep,
+    TenantSpec,
+    TenantStats,
+    default_tenants,
+    fleet_oversubscription_sweep,
+    run_fleet,
+)
 from repro.fleet.health import FailoverController, HeartbeatMonitor
 from repro.fleet.hedging import HedgedReader, RetryBudget
 from repro.fleet.replicas import (
@@ -31,7 +52,13 @@ from repro.fleet.replicas import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalePolicy",
     "FailoverController",
+    "FleetCluster",
+    "FleetReport",
+    "FleetSpec",
+    "FleetSweep",
     "HeartbeatMonitor",
     "HedgedReader",
     "Replica",
@@ -39,4 +66,10 @@ __all__ = [
     "RetryBudget",
     "ROLE_PRIMARY",
     "ROLE_SECONDARY",
+    "ScalingDecision",
+    "TenantSpec",
+    "TenantStats",
+    "default_tenants",
+    "fleet_oversubscription_sweep",
+    "run_fleet",
 ]

@@ -100,6 +100,22 @@ class CounterSeries:
     def cdf(self, name: str) -> Cdf:
         return Cdf(self.rates.get(name, []))
 
+    def percentile(self, name: str, p: float) -> float:
+        """Rate percentile over the run's intervals (0-100 scale).
+
+        ``percentile(name, 99.9)`` is the p999 rollup: the Fig 4 CDF
+        story extended into the far tail, where transient bandwidth
+        spikes live.  0.0 when the counter has no samples.
+        """
+        arr = self._array(name)
+        if arr is None:
+            return 0.0
+        return float(np.percentile(arr, p))
+
+    def p999(self, name: str) -> float:
+        """The 99.9th-percentile interval rate (tail-of-tail rollup)."""
+        return self.percentile(name, 99.9)
+
     def mean_mpki(self) -> float:
         """Misses per kilo-instruction over the whole run."""
         instructions_arr = self._array(INSTRUCTIONS)

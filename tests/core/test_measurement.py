@@ -68,3 +68,22 @@ class TestMeasurement:
 
     def test_counter_series_mean_mpki_empty(self):
         assert CounterSeries().mean_mpki() == 0.0
+
+
+class TestTailLatencies:
+    def test_tail_accessors_roll_up_the_txn_cdf(self):
+        m = make_measurement()
+        assert m.p50_latency_ms == pytest.approx(20.0)
+        assert m.p99_latency_ms == pytest.approx(m.tail_latency_ms(99.0))
+        assert m.p999_latency_ms >= m.p99_latency_ms >= m.p50_latency_ms
+
+    def test_tail_is_nan_without_latency_samples(self):
+        m = make_measurement()
+        m.tracker.latencies.clear()
+        assert m.p999_latency_ms != m.p999_latency_ms
+
+    def test_open_loop_fields_default_to_closed_loop_zero(self):
+        m = make_measurement()
+        assert m.offered_tps == 0.0
+        assert m.arrival_sheds == 0
+        assert m.sheds_by_tenant == {}

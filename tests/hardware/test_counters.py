@@ -68,3 +68,19 @@ class TestPickleStability:
         assert clone.interval == series.interval
         assert clone.rates == series.rates
         assert clone.mean(SSD_READ_BYTES) == series.mean(SSD_READ_BYTES)
+
+
+class TestTailPercentiles:
+    def test_percentile_bounds(self):
+        series = series_with(SSD_READ_BYTES, list(range(1, 101)))
+        assert series.percentile(SSD_READ_BYTES, 50) == pytest.approx(50.5)
+        assert series.percentile(SSD_READ_BYTES, 100) == pytest.approx(100.0)
+
+    def test_p999_reaches_into_the_far_tail(self):
+        # 999 calm intervals and one spike: p99 misses it, p999 sees it.
+        series = series_with(SSD_READ_BYTES, [1.0] * 999 + [1000.0])
+        assert series.percentile(SSD_READ_BYTES, 99.0) == pytest.approx(1.0)
+        assert series.p999(SSD_READ_BYTES) > 1.0
+
+    def test_missing_counter_percentile_is_zero(self):
+        assert CounterSeries().p999(SSD_READ_BYTES) == 0.0

@@ -73,3 +73,96 @@ class TestOpenLoopDriver:
         assert len(results) == 2
         assert results[0].offered_tps == 50.0
         assert all(r.completed > 0 for r in results)
+
+
+class TestRateTraces:
+    def _trace(self, kind, **overrides):
+        from repro.workloads.arrivals import ArrivalSpec
+
+        spec = ArrivalSpec(offered_tps=100.0, trace=kind, **overrides)
+        machine = Machine(seed=0)
+        return spec.build_trace(10.0, machine.streams.get("trace-test"))
+
+    def test_poisson_and_deterministic_have_no_trace(self):
+        """The historical kinds draw the exact pre-trace RNG sequence."""
+        assert self._trace("poisson") is None
+        assert self._trace("deterministic") is None
+
+    def test_diurnal_starts_at_trough_and_peaks_mid_period(self):
+        trace = self._trace("diurnal", period_s=10.0, amplitude=0.5)
+        assert trace.rate_at(0.0) == pytest.approx(50.0)
+        assert trace.rate_at(5.0) == pytest.approx(150.0)
+        assert trace.peak_rate() == pytest.approx(150.0)
+
+    def test_burst_alternates_between_two_rates(self):
+        trace = self._trace("burst", burst_multiplier=8.0)
+        rates = {round(trace.rate_at(t * 0.05), 6) for t in range(200)}
+        assert len(rates) == 2
+        assert max(rates) == pytest.approx(8.0 * min(rates))
+
+    def test_flash_crowd_is_a_step_window(self):
+        trace = self._trace("flash-crowd", flash_at=0.5, flash_magnitude=10.0,
+                            flash_width=0.1)
+        assert trace.rate_at(1.0) == pytest.approx(100.0)
+        assert trace.rate_at(5.5) == pytest.approx(1000.0)
+        assert trace.rate_at(9.0) == pytest.approx(100.0)
+
+    def test_invalid_trace_kind_rejected(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.arrivals import ArrivalSpec
+
+        with pytest.raises(WorkloadError):
+            ArrivalSpec(offered_tps=1.0, trace="lunar")
+
+
+class TestTenantAttribution:
+    def test_sheds_are_counted_per_tenant(self):
+        from repro.workloads.arrivals import OpenLoopDriver, TenantTraffic
+
+        workload, engine = make_pair()
+        tenants = (TenantTraffic(name="a", weight=3.0),
+                   TenantTraffic(name="b", weight=1.0))
+        driver = OpenLoopDriver(workload, engine, offered_tps=30_000.0,
+                                max_in_flight=50, tenants=tenants)
+        result = driver.run(duration=2.0)
+        assert result.dropped > 0
+        assert sum(result.dropped_by_tenant.values()) == result.dropped
+        assert sum(result.completed_by_tenant.values()) == result.completed
+        # 3:1 weights: tenant a carries (and sheds) the bulk.
+        assert result.dropped_by_tenant["a"] > result.dropped_by_tenant["b"]
+
+
+class TestOpenLoopSweep:
+    def test_sweep_routes_through_the_result_cache(self, tmp_path):
+        from repro.core.resultcache import ResultCache
+        from repro.workloads.arrivals import run_open_loop_sweep
+
+        cache = ResultCache(tmp_path)
+        rates = [50.0, 150.0]
+        first = run_open_loop_sweep("asdb", 2000, rates, duration=2.0,
+                                    cache=cache)
+        assert [m.offered_tps for m in first] == rates
+        assert all(m.tracker.counts.get("txn", 0) > 0 for m in first)
+        second = run_open_loop_sweep("asdb", 2000, rates, duration=2.0,
+                                     cache=cache)
+        assert cache.hits >= len(rates)
+        assert [m.primary_metric for m in second] == \
+               [m.primary_metric for m in first]
+
+    def test_sweep_carries_shed_counts_per_tenant(self):
+        from repro.workloads.arrivals import (
+            ArrivalSpec,
+            TenantTraffic,
+            run_open_loop_sweep,
+        )
+
+        arrival = ArrivalSpec(
+            offered_tps=1.0, max_in_flight=20,
+            tenants=(TenantTraffic(name="gold", priority=0),
+                     TenantTraffic(name="scrap", priority=2)),
+        )
+        [m] = run_open_loop_sweep("asdb", 2000, [20_000.0], arrival=arrival,
+                                  duration=1.5)
+        assert m.arrival_sheds > 0
+        assert set(m.sheds_by_tenant) <= {"gold", "scrap"}
+        assert sum(m.sheds_by_tenant.values()) == m.arrival_sheds
